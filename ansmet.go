@@ -1,0 +1,381 @@
+// Package ansmet is a from-scratch Go reproduction of ANSMET (ISCA 2025):
+// approximate nearest neighbor search with DIMM-based near-memory
+// processing and hybrid partial-dimension/partial-bit early termination.
+//
+// The package bundles three things:
+//
+//   - a complete ANNS library: HNSW and IVF indexes over L2 /
+//     inner-product / cosine metrics and five element types, with the
+//     paper's lossless early-termination distance engine (transformed
+//     bit-plane layouts, sampling-based layout optimization, outlier-aware
+//     common-prefix elimination);
+//   - a timing simulator for the paper's CPU+NDP platform (DDR5 command
+//     timing, rank-level NDP units, hybrid partitioning, adaptive result
+//     polling) that replays real query traces through any of the nine
+//     evaluated designs;
+//   - the experiment harness that regenerates every table and figure of
+//     the paper's evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	db, err := ansmet.New(vectors, ansmet.Options{
+//		Metric: ansmet.L2,
+//		Elem:   ansmet.Float32,
+//	})
+//	res, err := db.Search(query, 10)
+//
+// Search results are exact with respect to the underlying index traversal:
+// early termination provably never changes them (DESIGN.md, invariant 3).
+package ansmet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ansmet/internal/core"
+	"ansmet/internal/dataset"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/vecmath"
+)
+
+// Metric selects the distance definition.
+type Metric = vecmath.Metric
+
+// Distance metrics (paper §2.1). Cosine expects pre-normalized data; use
+// Normalize during ingestion.
+const (
+	L2           = vecmath.L2
+	InnerProduct = vecmath.InnerProduct
+	Cosine       = vecmath.Cosine
+)
+
+// ElemType is the stored element type of vector components.
+type ElemType = vecmath.ElemType
+
+// Element types (paper Table 2).
+const (
+	Uint8    = vecmath.Uint8
+	Int8     = vecmath.Int8
+	Float16  = vecmath.Float16
+	BFloat16 = vecmath.BFloat16
+	Float32  = vecmath.Float32
+)
+
+// Design selects the evaluated hardware/software design point (§6).
+type Design = core.Design
+
+// Evaluated designs, CPU-Base through full ANSMET.
+const (
+	CPUBase   = core.CPUBase
+	CPUET     = core.CPUET
+	CPUETOpt  = core.CPUETOpt
+	NDPBase   = core.NDPBase
+	NDPDimET  = core.NDPDimET
+	NDPBitET  = core.NDPBitET
+	NDPET     = core.NDPET
+	NDPETDual = core.NDPETDual
+	NDPETOpt  = core.NDPETOpt
+)
+
+// AllDesigns lists every design in the paper's order.
+var AllDesigns = core.AllDesigns
+
+// Neighbor is one search result.
+type Neighbor = hnsw.Neighbor
+
+// Normalize scales a vector to unit norm (cosine preprocessing).
+func Normalize(v []float32) { vecmath.Normalize(v) }
+
+// Options configures a Database.
+type Options struct {
+	// Metric is the distance definition (default L2).
+	Metric Metric
+	// Elem is the stored element type (default Float32). Vector values are
+	// quantized to this type during ingestion.
+	Elem ElemType
+	// Design selects the simulated platform; nil means NDPETOpt, the full
+	// ANSMET design (use UseDesign to pick another). Functional search
+	// results are identical across designs; the design changes data
+	// layout, traffic and timing.
+	Design *Design
+
+	// M, MaxDegree, EfConstruction configure HNSW construction; zero
+	// values take the paper's defaults (16/16/500). Lower EfConstruction
+	// substantially for large interactive builds.
+	M, MaxDegree, EfConstruction int
+
+	// Seed drives all randomized choices (level assignment, sampling).
+	Seed uint64
+
+	// Advanced exposes every platform knob; leave nil for defaults. When
+	// set, its Design field is overridden by Options.Design.
+	Advanced *core.SystemConfig
+}
+
+// UseDesign selects a specific design point in Options.
+func UseDesign(d Design) *Design { return &d }
+
+func (o *Options) fill() {
+	if o.M == 0 {
+		o.M = 16
+	}
+	if o.MaxDegree == 0 {
+		o.MaxDegree = 16
+	}
+	if o.EfConstruction == 0 {
+		o.EfConstruction = 500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Design == nil {
+		o.Design = UseDesign(NDPETOpt)
+	}
+}
+
+// Database is a built, preprocessed ANSMET instance over an immutable
+// vector population.
+type Database struct {
+	opts    Options
+	vectors [][]float32
+	sys     *core.System
+}
+
+// New ingests the vectors (quantizing them to the element type), builds the
+// HNSW index, and runs the design's offline preprocessing (sampling, layout
+// optimization, prefix elimination, layout transformation, partitioning).
+func New(vectors [][]float32, opts Options) (*Database, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("ansmet: empty dataset")
+	}
+	opts.fill()
+	dim := len(vectors[0])
+	quant := make([][]float32, len(vectors))
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("ansmet: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+		q := make([]float32, dim)
+		for d, x := range v {
+			q[d] = opts.Elem.Quantize(x)
+		}
+		quant[i] = q
+	}
+	ix, err := hnsw.Build(quant, opts.Metric, hnsw.Config{
+		M: opts.M, MaxDegree: opts.MaxDegree,
+		EfConstruction: opts.EfConstruction, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cfg core.SystemConfig
+	if opts.Advanced != nil {
+		cfg = *opts.Advanced
+		cfg.Design = *opts.Design
+	} else {
+		cfg = core.DefaultSystemConfig(*opts.Design)
+	}
+	cfg.Seed = opts.Seed
+	sys, err := core.NewSystem(quant, opts.Elem, opts.Metric, ix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{opts: opts, vectors: quant, sys: sys}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (db *Database) Len() int { return len(db.vectors) }
+
+// Vector returns the stored (quantized) vector with the given id.
+func (db *Database) Vector(id uint32) []float32 { return db.vectors[id] }
+
+// Search returns the k approximate nearest neighbors of q using a beam
+// width of max(2k, 32).
+func (db *Database) Search(q []float32, k int) ([]Neighbor, error) {
+	ef := 2 * k
+	if ef < 32 {
+		ef = 32
+	}
+	return db.SearchEf(q, k, ef)
+}
+
+// SearchEf is Search with an explicit beam width (the paper's efSearch).
+func (db *Database) SearchEf(q []float32, k, ef int) ([]Neighbor, error) {
+	if len(q) != db.sys.Dim {
+		return nil, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	}
+	qq := make([]float32, len(q))
+	for d, x := range q {
+		qq[d] = db.opts.Elem.Quantize(x)
+	}
+	batch := db.sys.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	return db.sys.Index.SearchBatched(qq, k, ef, batch, db.sys.Engine, nil), nil
+}
+
+// ExactSearch returns the exact k nearest neighbors by scanning the whole
+// database with early termination: the provable bounds skip most of each
+// far vector's data while guaranteeing the brute-force answer (the paper's
+// §4.1 claim that the scheme works for accurate kNN too). The second result
+// is the number of 64 B lines actually fetched; a plain scan would fetch
+// Len()×Stats().LinesPerVector. Falls back to a full scan for the Base
+// designs, which have no early-termination store.
+func (db *Database) ExactSearch(q []float32, k int) ([]Neighbor, int, error) {
+	if len(q) != db.sys.Dim {
+		return nil, 0, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	}
+	qq := make([]float32, len(q))
+	for d, x := range q {
+		qq[d] = db.opts.Elem.Quantize(x)
+	}
+	if db.sys.Store != nil {
+		eng := db.sys.Store.NewETEngine(db.opts.Metric)
+		nn, lines := eng.ExactKNN(qq, k)
+		return nn, lines, nil
+	}
+	// Base designs: plain full scan.
+	eng := core.MustExactEngine(db.vectors, db.opts.Metric, db.opts.Elem)
+	eng.StartQuery(qq)
+	var best []Neighbor
+	lines := 0
+	for id := range db.vectors {
+		r := eng.Compare(uint32(id), maxFloat)
+		lines += r.Lines
+		best = insertTopK(best, Neighbor{ID: uint32(id), Dist: r.Dist}, k)
+	}
+	return best, lines, nil
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// insertTopK maintains a small sorted top-k list.
+func insertTopK(list []Neighbor, n Neighbor, k int) []Neighbor {
+	pos := len(list)
+	for pos > 0 && (list[pos-1].Dist > n.Dist ||
+		(list[pos-1].Dist == n.Dist && list[pos-1].ID > n.ID)) {
+		pos--
+	}
+	list = append(list, Neighbor{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = n
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// Run executes a query batch functionally and replays it on the design's
+// timing model, returning results plus the simulation report (latency,
+// throughput, traffic, energy activity).
+func (db *Database) Run(queries [][]float32, k, ef int) *core.RunResult {
+	return db.sys.RunHNSW(queries, k, ef)
+}
+
+// SearchFiltered restricts results to ids accepted by the predicate
+// (attribute + vector hybrid search); traversal still crosses non-matching
+// vertices so the graph stays navigable.
+func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool) ([]Neighbor, error) {
+	if len(q) != db.sys.Dim {
+		return nil, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	}
+	qq := make([]float32, len(q))
+	for d, x := range q {
+		qq[d] = db.opts.Elem.Quantize(x)
+	}
+	ef := 2 * k
+	if ef < 32 {
+		ef = 32
+	}
+	batch := db.sys.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	return db.sys.Index.SearchFiltered(qq, k, ef, batch, filter, db.sys.Engine, nil), nil
+}
+
+// SearchMany runs the queries across `workers` goroutines, each with its
+// own distance engine, and returns per-query results in order. workers <= 0
+// uses GOMAXPROCS.
+func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Neighbor, error) {
+	for i, q := range queries {
+		if len(q) != db.sys.Dim {
+			return nil, fmt.Errorf("ansmet: query %d dim %d, want %d", i, len(q), db.sys.Dim)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	batch := db.sys.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	out := make([][]Neighbor, len(queries))
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := db.sys.NewWorkerEngine()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(queries) {
+					return
+				}
+				qq := make([]float32, len(queries[i]))
+				for d, x := range queries[i] {
+					qq[d] = db.opts.Elem.Quantize(x)
+				}
+				out[i] = db.sys.Index.SearchBatched(qq, k, ef, batch, eng, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// System exposes the underlying preprocessed system for advanced use
+// (timing configuration, layout parameters, partition map).
+func (db *Database) System() *core.System { return db.sys }
+
+// Stats summarizes the database's offline preprocessing.
+type Stats struct {
+	Vectors           int
+	Dim               int
+	Design            Design
+	PrefixBits        int
+	Outliers          int
+	LinesPerVector    int
+	SpaceSavedPercent float64
+	PreprocessSeconds float64
+}
+
+// Stats reports preprocessing facts (layout decision, prefix elimination,
+// storage footprint).
+func (db *Database) Stats() Stats {
+	s := Stats{
+		Vectors: len(db.vectors), Dim: db.sys.Dim,
+		Design:            db.sys.Cfg.Design,
+		PreprocessSeconds: db.sys.PreprocessSeconds,
+		LinesPerVector:    db.sys.Engine.LinesPerVector(),
+	}
+	if st := db.sys.Store; st != nil {
+		s.PrefixBits = st.Prefix.PrefixLen
+		s.Outliers = st.NumOutliers()
+		s.SpaceSavedPercent = st.SpaceSavedFraction() * 100
+	}
+	return s
+}
+
+// RecallAtK computes |got ∩ truth| / |truth| for result id lists.
+func RecallAtK(got, truth []uint32) float64 { return dataset.RecallAtK(got, truth) }

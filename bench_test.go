@@ -1,0 +1,252 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§7), plus micro-benchmarks of the core data
+// structures. Running
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every experiment table on the default workload scale and
+// prints it to stdout (once per process, whatever b.N is). Set
+// ANSMET_BENCH_QUICK=1 to use the small smoke-test scale.
+package ansmet_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/core"
+	"ansmet/internal/dataset"
+	"ansmet/internal/dram"
+	"ansmet/internal/experiments"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/layout"
+	"ansmet/internal/prefixelim"
+	"ansmet/internal/vecmath"
+)
+
+var (
+	benchOnce   sync.Once
+	benchShared *experiments.Runner
+)
+
+func benchRunner() *experiments.Runner {
+	benchOnce.Do(func() {
+		scale := experiments.DefaultScale()
+		if os.Getenv("ANSMET_BENCH_QUICK") != "" {
+			scale = experiments.QuickScale()
+		}
+		benchShared = experiments.NewRunner(scale)
+	})
+	return benchShared
+}
+
+// tablePrinted dedupes table output across b.N iterations.
+var tablePrinted sync.Map
+
+func runTable(b *testing.B, name string, fn func() *experiments.Table) {
+	b.Helper()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = fn()
+	}
+	if _, dup := tablePrinted.LoadOrStore(name, true); !dup {
+		tab.Format(os.Stdout)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper table/figure (see DESIGN.md per-experiment index).
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig01Breakdown(b *testing.B) {
+	runTable(b, "fig1", func() *experiments.Table { return benchRunner().Fig01() })
+}
+
+func BenchmarkFig03PrefixEntropy(b *testing.B) {
+	runTable(b, "fig3", func() *experiments.Table { return benchRunner().Fig03() })
+}
+
+func BenchmarkFig06Speedup(b *testing.B) {
+	runTable(b, "fig6", func() *experiments.Table { return benchRunner().Fig06([]int{1, 5, 10}) })
+}
+
+func BenchmarkFig07Energy(b *testing.B) {
+	runTable(b, "fig7", func() *experiments.Table { return benchRunner().Fig07() })
+}
+
+func BenchmarkFig08RecallQPS(b *testing.B) {
+	runTable(b, "fig8", func() *experiments.Table { return benchRunner().Fig08() })
+}
+
+func BenchmarkFig09Polling(b *testing.B) {
+	runTable(b, "fig9", func() *experiments.Table { return benchRunner().Fig09() })
+}
+
+func BenchmarkFig10FetchUtil(b *testing.B) {
+	runTable(b, "fig10", func() *experiments.Table { return benchRunner().Fig10() })
+}
+
+func BenchmarkFig11Sampling(b *testing.B) {
+	runTable(b, "fig11", func() *experiments.Table { return benchRunner().Fig11() })
+}
+
+func BenchmarkFig12Partitioning(b *testing.B) {
+	runTable(b, "fig12", func() *experiments.Table { return benchRunner().Fig12() })
+}
+
+func BenchmarkTable3Scaling(b *testing.B) {
+	runTable(b, "table3", func() *experiments.Table { return benchRunner().Table3() })
+}
+
+func BenchmarkTable4Preproc(b *testing.B) {
+	runTable(b, "table4", func() *experiments.Table { return benchRunner().Table4() })
+}
+
+func BenchmarkTable5Outliers(b *testing.B) {
+	runTable(b, "table5", func() *experiments.Table { return benchRunner().Table5() })
+}
+
+func BenchmarkReplication(b *testing.B) {
+	runTable(b, "replication", func() *experiments.Table { return benchRunner().Replication() })
+}
+
+func BenchmarkAblationBeamBatch(b *testing.B) {
+	runTable(b, "ablation-batch", func() *experiments.Table { return benchRunner().AblationBeamBatch() })
+}
+
+func BenchmarkAblationQuantization(b *testing.B) {
+	runTable(b, "ablation-quant", func() *experiments.Table { return benchRunner().AblationQuantization() })
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core building blocks.
+// ---------------------------------------------------------------------------
+
+// benchData builds a small SIFT-profile working set shared by the micro
+// benchmarks.
+var benchData = sync.OnceValue(func() *dataset.Dataset {
+	return dataset.Generate(dataset.ProfileByName("SIFT"), 2000, 16, 99)
+})
+
+func BenchmarkElementEncode(b *testing.B) {
+	ds := benchData()
+	v := ds.Vectors[0]
+	var codes []uint32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		codes = vecmath.Uint8.EncodeVector(v, codes[:0])
+	}
+	_ = codes
+}
+
+func BenchmarkLayoutTransform(b *testing.B) {
+	ds := benchData()
+	sched := layout.SimpleHeuristicSchedule(vecmath.Uint8)
+	l := bitplane.MustLayout(vecmath.Uint8, 128, sched)
+	codes := vecmath.Uint8.EncodeVector(ds.Vectors[0], nil)
+	buf := make([]byte, l.VectorBytes())
+	b.SetBytes(int64(l.VectorBytes()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Transform(codes, buf)
+	}
+}
+
+func BenchmarkBounderRunET(b *testing.B) {
+	ds := benchData()
+	sched := layout.SimpleHeuristicSchedule(vecmath.Uint8)
+	l := bitplane.MustLayout(vecmath.Uint8, 128, sched)
+	bd := bitplane.NewBounder(l, vecmath.L2, 0)
+	bd.ResetQuery(ds.Queries[0])
+	buf := make([]byte, l.VectorBytes())
+	l.Transform(vecmath.Uint8.EncodeVector(ds.Vectors[0], nil), buf)
+	th := vecmath.L2.Distance(ds.Queries[0], ds.Vectors[1]) // realistic threshold
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd.Reset()
+		bd.RunET(buf, th)
+	}
+}
+
+func BenchmarkETEngineCompare(b *testing.B) {
+	ds := benchData()
+	st, err := core.BuildStore(ds.Vectors, vecmath.Uint8,
+		layout.SimpleHeuristicSchedule(vecmath.Uint8), prefixelim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := st.NewETEngine(vecmath.L2)
+	eng.StartQuery(ds.Queries[0])
+	th := vecmath.L2.Distance(ds.Queries[0], ds.Vectors[1])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Compare(uint32(i%len(ds.Vectors)), th)
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	ds := benchData()
+	ix, err := hnsw.Build(ds.Vectors, vecmath.L2, hnsw.Config{
+		M: 8, MaxDegree: 16, EfConstruction: 100, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.MustExactEngine(ds.Vectors, vecmath.L2, vecmath.Uint8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Search(ds.Queries[i%len(ds.Queries)], 10, 64, eng, nil)
+	}
+}
+
+func BenchmarkDRAMRead(b *testing.B) {
+	m := dram.New(dram.DefaultConfig())
+	t := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := dram.Addr{Rank: i % 32, Bank: i % 32, Row: int64(i % 64)}
+		t = m.Read(t, a, i%2 == 0)
+	}
+	if math.IsNaN(t) {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkLayoutOptimize(b *testing.B) {
+	ds := benchData()
+	sample := ds.Vectors[:100]
+	an, err := layout.Analyze(sample, vecmath.Uint8, vecmath.L2, layout.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		an.BestParams(true)
+	}
+}
+
+func BenchmarkTimingReplay(b *testing.B) {
+	ds := benchData()
+	ix, err := hnsw.Build(ds.Vectors, vecmath.L2, hnsw.Config{
+		M: 8, MaxDegree: 16, EfConstruction: 80, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(ds.Vectors, vecmath.Uint8, vecmath.L2, ix,
+		core.DefaultSystemConfig(core.NDPETOpt))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := sys.RunHNSW(ds.Queries, 10, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Replay(sys, run.Traces)
+	}
+	b.ReportMetric(run.Report.QPS(), "simQPS")
+	_ = fmt.Sprint()
+}

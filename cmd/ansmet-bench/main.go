@@ -1,0 +1,89 @@
+// Command ansmet-bench regenerates the paper's evaluation tables and
+// figures (§7) on the scaled-down synthetic workloads and prints them as
+// text tables. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for a discussion of paper-vs-measured results.
+//
+// Usage:
+//
+//	ansmet-bench [-quick] [-exp fig1,fig6,table5] [-k 10]
+//
+// With no -exp, every experiment runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ansmet/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small smoke-test workload scale")
+	exp := flag.String("exp", "all",
+		"comma-separated experiments: fig1,fig3,fig6,fig7,fig8,fig9,fig10,fig11,fig12,table3,table4,table5,replication,ablation-batch,ablation-quant")
+	ks := flag.String("k", "1,5,10", "result counts for fig6")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	r := experiments.NewRunner(scale)
+
+	var fig6Ks []int
+	for _, s := range strings.Split(*ks, ",") {
+		var k int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &k); err == nil && k > 0 {
+			fig6Ks = append(fig6Ks, k)
+		}
+	}
+
+	type job struct {
+		name string
+		run  func() *experiments.Table
+	}
+	jobs := []job{
+		{"fig1", r.Fig01},
+		{"fig3", r.Fig03},
+		{"fig6", func() *experiments.Table { return r.Fig06(fig6Ks) }},
+		{"fig7", r.Fig07},
+		{"fig8", r.Fig08},
+		{"fig9", r.Fig09},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"table5", r.Table5},
+		{"replication", r.Replication},
+		{"ablation-batch", r.AblationBeamBatch},
+		{"ablation-quant", r.AblationQuantization},
+	}
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(s))] = true
+	}
+	all := want["all"]
+
+	fmt.Printf("ANSMET reproduction benchmarks (scale: %d datasets, %d queries, efConstruction=%d)\n\n",
+		len(scale.N), scale.Queries, scale.EfConstruction)
+	ranAny := false
+	for _, j := range jobs {
+		if !all && !want[j.name] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		tab := j.run()
+		tab.Notes = append(tab.Notes, fmt.Sprintf("generated in %.1fs", time.Since(start).Seconds()))
+		tab.Format(os.Stdout)
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

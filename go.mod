@@ -1,0 +1,3 @@
+module ansmet
+
+go 1.22

@@ -1,0 +1,213 @@
+package bitplane
+
+import (
+	"fmt"
+	"math"
+
+	"ansmet/internal/vecmath"
+)
+
+// Bounder incrementally consumes the lines of one transformed vector (in
+// storage order, as the NDP unit fetches them) and maintains a provable
+// lower bound on the vector's distance to the query. It is the software
+// model of the distance computing unit in Fig. 5(d).
+//
+// A Bounder is reusable across vectors via Reset and across queries via
+// ResetQuery; it is not safe for concurrent use.
+type Bounder struct {
+	layout *Layout
+	metric vecmath.Metric
+
+	// prefixVal is the eliminated common prefix value shared by all
+	// elements (kept "inside the on-chip compute logic", Fig. 4(b)).
+	prefixVal uint32
+
+	query []float32
+
+	// Per-dimension progressive state.
+	partial []uint32 // accumulated suffix bits, MSB-first
+	known   []int    // suffix bits known so far
+	contrib []float64
+
+	// sum is Σ contrib, recomputed fresh from the per-dimension
+	// contributions after every consumed line. A fresh summation (rather
+	// than an incremental one) is deliberate: IP contributions over wide
+	// float intervals can be transiently enormous (~q·2^64) and an
+	// incremental add/subtract would destroy the sum through catastrophic
+	// cancellation once they settle to tiny exact products. Fresh sums keep
+	// the fully-fetched bound bitwise equal to the exact distance. Infinite
+	// contributions (IP over unbounded intervals) propagate naturally:
+	// sum = +Inf ⇒ LB = -Inf.
+	sum      float64
+	nextLine int
+	initSum  float64   // Σ contributions with zero lines consumed
+	buf      lineSpans // cached spans
+}
+
+type lineSpans []lineSpan
+
+// NewBounder creates a bounder for the layout/metric pair. prefixVal is the
+// value of the eliminated common prefix (ignored when the schedule has no
+// prefix). Call ResetQuery before use.
+func NewBounder(l *Layout, m vecmath.Metric, prefixVal uint32) *Bounder {
+	b := &Bounder{
+		layout:    l,
+		metric:    m,
+		prefixVal: prefixVal,
+		partial:   make([]uint32, l.Dim),
+		known:     make([]int, l.Dim),
+		contrib:   make([]float64, l.Dim),
+	}
+	b.buf = make(lineSpans, l.LinesPerVector())
+	for i := range b.buf {
+		b.buf[i] = l.span(i)
+	}
+	return b
+}
+
+// ResetQuery installs a new query vector and resets per-vector state.
+func (b *Bounder) ResetQuery(query []float32) {
+	if len(query) != b.layout.Dim {
+		panic(fmt.Sprintf("bitplane: query dim %d, layout dim %d", len(query), b.layout.Dim))
+	}
+	b.query = query
+	// With zero suffix bits known, every element's interval comes from the
+	// common prefix alone — identical across dimensions.
+	lo, hi := b.layout.Elem.Interval(b.prefixVal, b.layout.Sched.Prefix)
+	b.initSum = 0
+	for d := 0; d < b.layout.Dim; d++ {
+		c := b.dimContrib(float64(query[d]), lo, hi)
+		b.contrib[d] = c
+		b.initSum += c
+	}
+	b.sum = b.initSum
+	b.nextLine = 0
+	for d := range b.known {
+		b.known[d] = 0
+		b.partial[d] = 0
+	}
+}
+
+// Reset prepares the bounder for a new vector under the same query.
+func (b *Bounder) Reset() {
+	if b.query == nil {
+		panic("bitplane: Reset before ResetQuery")
+	}
+	b.sum = b.initSum
+	b.nextLine = 0
+	lo, hi := b.layout.Elem.Interval(b.prefixVal, b.layout.Sched.Prefix)
+	for d := range b.known {
+		b.known[d] = 0
+		b.partial[d] = 0
+		b.contrib[d] = b.dimContrib(float64(b.query[d]), lo, hi)
+	}
+}
+
+func (b *Bounder) dimContrib(q, lo, hi float64) float64 {
+	switch b.metric {
+	case vecmath.L2:
+		return vecmath.L2IntervalContrib(q, lo, hi)
+	case vecmath.InnerProduct, vecmath.Cosine:
+		return vecmath.IPIntervalUpper(q, lo, hi)
+	default:
+		panic("bitplane: unknown metric")
+	}
+}
+
+// ConsumeNext feeds the next 64 B line of the vector (in storage order) and
+// returns the updated lower bound. line must hold LineBytes bytes.
+func (b *Bounder) ConsumeNext(line []byte) float64 {
+	if b.nextLine >= b.layout.LinesPerVector() {
+		panic("bitplane: consumed past end of vector")
+	}
+	sp := b.buf[b.nextLine]
+	g := b.layout.groups[sp.group]
+	elem := b.layout.Elem
+	prefix := b.layout.Sched.Prefix
+	for d := sp.firstDim; d < sp.lastDim; d++ {
+		slot := d - sp.firstDim
+		chunk := getBits(line, slot*g.bits, g.bits)
+		b.partial[d] = b.partial[d]<<uint(g.bits) | chunk
+		b.known[d] += g.bits
+		fullKnown := prefix + b.known[d]
+		codePrefix := b.prefixVal<<uint(b.known[d]) | b.partial[d]
+		lo, hi := elem.Interval(codePrefix, fullKnown)
+		b.contrib[d] = b.dimContrib(float64(b.query[d]), lo, hi)
+	}
+	sum := 0.0
+	for _, c := range b.contrib {
+		sum += c
+	}
+	b.sum = sum
+	b.nextLine++
+	return b.LB()
+}
+
+// LB returns the current distance lower bound. After all lines are consumed
+// it equals the exact distance of the stored (possibly prefix-eliminated)
+// vector to the query.
+func (b *Bounder) LB() float64 {
+	switch b.metric {
+	case vecmath.L2:
+		return math.Sqrt(b.sum)
+	default:
+		// sum = +Inf (some product unbounded above) yields -Inf: no bound.
+		return -b.sum
+	}
+}
+
+// LinesConsumed reports how many lines have been fed since the last reset.
+func (b *Bounder) LinesConsumed() int { return b.nextLine }
+
+// Done reports whether the whole vector has been consumed.
+func (b *Bounder) Done() bool { return b.nextLine == b.layout.LinesPerVector() }
+
+// Layout returns the layout this bounder was built for.
+func (b *Bounder) Layout() *Layout { return b.layout }
+
+// RunET consumes lines from data until either the lower bound exceeds the
+// threshold (early termination) or the vector is exhausted. It returns the
+// final bound and the number of lines fetched. This is the reference
+// sequential execution of one comparison task on an NDP unit (§5.2).
+func (b *Bounder) RunET(data []byte, threshold float64) (lb float64, lines int) {
+	lb, lines, _ = b.RunETLocal(data, threshold, threshold)
+	return lb, lines
+}
+
+// RunETLocal additionally tracks the stricter localThreshold used to model
+// per-rank local early termination under dimension partitioning (§5.3): it
+// returns the line position at which the bound exceeds localThreshold
+// (continuing past the global termination if needed to observe it), or the
+// full line count if it never does. localThreshold must be >= threshold.
+func (b *Bounder) RunETLocal(data []byte, threshold, localThreshold float64) (lb float64, lines, linesLocal int) {
+	if localThreshold < threshold {
+		localThreshold = threshold
+	}
+	total := b.layout.LinesPerVector()
+	lines, linesLocal = -1, -1
+	for b.nextLine < total {
+		i := b.nextLine
+		lb = b.ConsumeNext(data[i*LineBytes : (i+1)*LineBytes])
+		if lines < 0 && lb > threshold {
+			lines = b.nextLine
+		}
+		if lb > localThreshold {
+			linesLocal = b.nextLine
+			break
+		}
+	}
+	if lines < 0 {
+		// Never exceeded the global threshold before the local one (or the
+		// vector ran out): report the fetch position actually reached.
+		if linesLocal >= 0 {
+			lines = linesLocal
+		} else {
+			lines = total
+		}
+		lb = b.LB()
+	}
+	if linesLocal < 0 {
+		linesLocal = total
+	}
+	return lb, lines, linesLocal
+}

@@ -1,0 +1,67 @@
+package bitplane
+
+import (
+	"math"
+	"testing"
+
+	"ansmet/internal/vecmath"
+)
+
+// FuzzTransformRoundTrip fuzzes the layout transform: for arbitrary
+// schedule shapes and code words, Transform followed by Reconstruct is the
+// identity, and the incremental bounder's full consumption reproduces the
+// exact distance.
+func FuzzTransformRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(2), uint16(40), uint64(12345))
+	f.Add(uint8(0), uint8(8), uint8(4), uint16(7), uint64(999))
+	f.Fuzz(func(t *testing.T, prefixRaw, ncRaw, nfRaw uint8, dimRaw uint16, seed uint64) {
+		elem := vecmath.Uint8
+		w := elem.Bits()
+		prefix := int(prefixRaw) % 4 // leave room for outlier payloads elsewhere
+		nc := 1 + int(ncRaw)%(w-prefix)
+		nf := 1 + int(nfRaw)%nc
+		dim := 1 + int(dimRaw)%200
+		sched := DualSchedule(elem, prefix, nc, 1, nf)
+		if err := sched.Validate(elem); err != nil {
+			t.Fatalf("generated invalid schedule %v: %v", sched, err)
+		}
+		l, err := NewLayout(elem, dim, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic codes from the seed.
+		suffixW := uint(l.SuffixBits())
+		codes := make([]uint32, dim)
+		x := seed
+		for d := range codes {
+			x = x*6364136223846793005 + 1442695040888963407
+			codes[d] = uint32(x>>33) & (1<<suffixW - 1)
+		}
+		buf := make([]byte, l.VectorBytes())
+		l.Transform(codes, buf)
+		back := l.Reconstruct(buf, nil)
+		for d := range codes {
+			if back[d] != codes[d] {
+				t.Fatalf("round trip failed at dim %d: %#x -> %#x", d, codes[d], back[d])
+			}
+		}
+		// Full consumption must be exact w.r.t. a zero query (prefix 0 runs).
+		if prefix == 0 {
+			q := make([]float32, dim)
+			v := make([]float32, dim)
+			for d := range v {
+				v[d] = float32(elem.Decode(codes[d]))
+			}
+			b := NewBounder(l, vecmath.L2, 0)
+			b.ResetQuery(q)
+			lb, lines := b.RunET(buf, math.Inf(1))
+			if lines != l.LinesPerVector() {
+				t.Fatalf("infinite threshold stopped early")
+			}
+			want := vecmath.L2.Distance(q, v)
+			if math.Abs(lb-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("full consume %v != exact %v", lb, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package bitplane
+
+import (
+	"testing"
+
+	"ansmet/internal/vecmath"
+)
+
+func TestPlainSchedule(t *testing.T) {
+	s := PlainSchedule(vecmath.Float32)
+	if s.Prefix != 0 || len(s.Steps) != 1 || s.Steps[0] != 32 {
+		t.Errorf("plain fp32 schedule = %v", s)
+	}
+	if err := s.Validate(vecmath.Float32); err != nil {
+		t.Errorf("plain schedule invalid: %v", err)
+	}
+}
+
+func TestUniformSchedule(t *testing.T) {
+	s := UniformSchedule(vecmath.Float32, 0, 8)
+	if len(s.Steps) != 4 {
+		t.Errorf("uniform 8-bit fp32: %v", s)
+	}
+	s = UniformSchedule(vecmath.Uint8, 0, 3)
+	want := []int{3, 3, 2}
+	if len(s.Steps) != 3 {
+		t.Fatalf("uniform 3-bit uint8: %v", s)
+	}
+	for i, w := range want {
+		if s.Steps[i] != w {
+			t.Errorf("step %d = %d, want %d", i, s.Steps[i], w)
+		}
+	}
+	if err := s.Validate(vecmath.Uint8); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Bit-serial (NDP-BitET style).
+	s = UniformSchedule(vecmath.Uint8, 0, 1)
+	if len(s.Steps) != 8 {
+		t.Errorf("bit-serial uint8 should have 8 steps, got %v", s)
+	}
+}
+
+func TestUniformScheduleWithPrefix(t *testing.T) {
+	s := UniformSchedule(vecmath.Uint8, 3, 2)
+	if s.Prefix != 3 {
+		t.Errorf("prefix = %d", s.Prefix)
+	}
+	sum := 0
+	for _, n := range s.Steps {
+		sum += n
+	}
+	if sum != 5 {
+		t.Errorf("steps sum to %d, want 5", sum)
+	}
+	if err := s.Validate(vecmath.Uint8); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestDualSchedule(t *testing.T) {
+	s := DualSchedule(vecmath.Float32, 4, 8, 2, 2)
+	// 32-4=28 bits: 8,8 coarse then 2-bit fine x6.
+	if s.Steps[0] != 8 || s.Steps[1] != 8 {
+		t.Errorf("coarse steps wrong: %v", s)
+	}
+	if len(s.Steps) != 8 {
+		t.Errorf("expected 8 steps, got %v", s)
+	}
+	if err := s.Validate(vecmath.Float32); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Truncated tail: 8-bit elem, nc=3, tc=2 -> 3,3 then nf=4 truncated to 2.
+	s = DualSchedule(vecmath.Uint8, 0, 3, 2, 4)
+	if len(s.Steps) != 3 || s.Steps[2] != 2 {
+		t.Errorf("tail truncation wrong: %v", s)
+	}
+	if err := s.Validate(vecmath.Uint8); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Prefix: -1, Steps: []int{9}},
+		{Prefix: 8, Steps: []int{1}},
+		{Prefix: 0, Steps: nil},
+		{Prefix: 0, Steps: []int{0, 8}},
+		{Prefix: 0, Steps: []int{4, 3}}, // sums to 7 not 8
+		{Prefix: 2, Steps: []int{8}},    // sums to 8 not 6
+	}
+	for i, s := range bad {
+		if err := s.Validate(vecmath.Uint8); err == nil {
+			t.Errorf("case %d: schedule %v should be invalid", i, s)
+		}
+	}
+}
+
+func TestScheduleEqual(t *testing.T) {
+	a := UniformSchedule(vecmath.Uint8, 0, 4)
+	b := UniformSchedule(vecmath.Uint8, 0, 4)
+	c := UniformSchedule(vecmath.Uint8, 0, 2)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal misbehaves")
+	}
+}

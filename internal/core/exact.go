@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+
+	"ansmet/internal/hnsw"
+)
+
+// ExactKNN performs an exact (non-approximate) k-nearest-neighbor scan of
+// the whole store, using early termination with the running k-th-best
+// distance as the threshold. Because the ET bound is provably conservative,
+// the result is identical to a brute-force scan — this realizes the paper's
+// observation that the scheme "can even be used in accurate search
+// algorithms like kmeans and kNN" (§4.1). The returned line count shows the
+// access savings relative to fullLines = Len()×SlotLines().
+func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetched int) {
+	e.StartQuery(q)
+	heap := &maxHeap{}
+	for id := uint32(0); id < uint32(e.store.Len()); id++ {
+		threshold := math.Inf(1)
+		if heap.Len() >= k {
+			threshold = heap.Top().Dist
+		}
+		r := e.Compare(id, threshold)
+		linesFetched += r.TotalLines()
+		if r.Accepted {
+			heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})
+			if heap.Len() > k {
+				heap.Pop()
+			}
+		}
+	}
+	nn = make([]hnsw.Neighbor, heap.Len())
+	for i := len(nn) - 1; i >= 0; i-- {
+		nn[i] = heap.Pop()
+	}
+	return nn, linesFetched
+}
+
+// maxHeap is a max-heap of neighbors by distance (worst at the top), with
+// ties broken toward keeping smaller ids (deterministic results).
+type maxHeap struct{ items []hnsw.Neighbor }
+
+func (h *maxHeap) Len() int           { return len(h.items) }
+func (h *maxHeap) Top() hnsw.Neighbor { return h.items[0] }
+
+func (h *maxHeap) less(a, b hnsw.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+func (h *maxHeap) Push(n hnsw.Neighbor) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) Pop() hnsw.Neighbor {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.less(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r < last && h.less(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/engine"
+	"ansmet/internal/prefixelim"
+	"ansmet/internal/vecmath"
+)
+
+// Store holds one dataset encoded in a transformed early-termination
+// layout, plus (when prefix elimination is on) the outlier flags and the
+// implicit full-precision backup region. It is immutable after Build and
+// shared by all engines over it.
+type Store struct {
+	Elem   vecmath.ElemType
+	Dim    int
+	Layout *bitplane.Layout
+	Prefix prefixelim.Config
+
+	vectors   [][]float32 // original values (the backup region's content)
+	data      []byte      // slotLines*64 bytes per vector
+	isOutlier []bool
+	slotLines int
+	// backupLines is the plain-layout footprint fetched on an outlier
+	// re-check.
+	backupLines int
+	numOutliers int
+}
+
+// BuildStore encodes all vectors under the given schedule and prefix
+// configuration. With prefix elimination disabled (Prefix.PrefixLen == 0)
+// every vector takes the normal bit-plane path.
+func BuildStore(vectors [][]float32, elem vecmath.ElemType, sched bitplane.Schedule, prefix prefixelim.Config) (*Store, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	dim := len(vectors[0])
+	lay, err := bitplane.NewLayout(elem, dim, sched)
+	if err != nil {
+		return nil, err
+	}
+	if prefix.Enabled() {
+		prefix.Elem, prefix.Dim = elem, dim
+		if err := prefix.Validate(); err != nil {
+			return nil, err
+		}
+		if sched.Prefix != prefix.PrefixLen {
+			return nil, fmt.Errorf("core: schedule prefix %d != elimination prefix %d",
+				sched.Prefix, prefix.PrefixLen)
+		}
+	} else if sched.Prefix != 0 {
+		return nil, fmt.Errorf("core: schedule has prefix %d but elimination is disabled", sched.Prefix)
+	}
+
+	s := &Store{
+		Elem: elem, Dim: dim, Layout: lay, Prefix: prefix,
+		vectors:     vectors,
+		isOutlier:   make([]bool, len(vectors)),
+		slotLines:   lay.LinesPerVector(),
+		backupLines: (dim*elem.Bytes() + 63) / 64,
+	}
+	if prefix.Enabled() && prefix.OutlierLines() > s.slotLines {
+		s.slotLines = prefix.OutlierLines()
+	}
+	s.data = make([]byte, len(vectors)*s.slotLines*bitplane.LineBytes)
+
+	codes := make([]uint32, 0, dim)
+	suffix := make([]uint32, 0, dim)
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("core: ragged dataset at vector %d", i)
+		}
+		codes = elem.EncodeVector(v, codes[:0])
+		slot := s.slot(uint32(i))
+		if prefix.Enabled() && !prefix.IsNormalVector(codes) {
+			s.isOutlier[i] = true
+			s.numOutliers++
+			prefix.EncodeOutlier(codes, slot)
+			continue
+		}
+		if prefix.Enabled() {
+			suffix = prefix.SuffixCodes(codes, suffix[:0])
+			lay.Transform(suffix, slot)
+		} else {
+			lay.Transform(codes, slot)
+		}
+	}
+	return s, nil
+}
+
+// slot returns the storage bytes of vector id.
+func (s *Store) slot(id uint32) []byte {
+	sz := s.slotLines * bitplane.LineBytes
+	return s.data[int(id)*sz : (int(id)+1)*sz]
+}
+
+// SlotLines returns the per-vector storage footprint in lines — the line
+// count the partitioning map and timing model operate on.
+func (s *Store) SlotLines() int { return s.slotLines }
+
+// BackupLines returns the full-precision backup footprint in lines.
+func (s *Store) BackupLines() int { return s.backupLines }
+
+// NumOutliers returns how many vectors use the outlier encoding.
+func (s *Store) NumOutliers() int { return s.numOutliers }
+
+// Len returns the vector count.
+func (s *Store) Len() int { return len(s.vectors) }
+
+// SpaceSavedFraction returns the fraction of payload bits that prefix
+// elimination strips from normal vectors (the paper's Table 5 "saved
+// space"; e.g. a 3-bit prefix on int8 saves 37.5%). Note that line-granular
+// padding can absorb part of this in the physical footprint — compare
+// SlotLines against BackupLines for the line-level view.
+func (s *Store) SpaceSavedFraction() float64 {
+	total := float64(s.Dim * s.Elem.Bits())
+	return float64(s.Prefix.SpaceSavedBits()) / total
+}
+
+// ETEngine is the early-terminating distance engine over a Store: the
+// software model of the NDP distance computing unit (Fig. 5(d)), also used
+// by the CPU-ET designs. Not safe for concurrent use; create one per
+// worker.
+type ETEngine struct {
+	store  *Store
+	metric vecmath.Metric
+	b      *bitplane.Bounder
+	ob     *prefixelim.OutlierBounder
+	query  []float32
+	// localSegs is the dimension-split factor of the partitioning scheme;
+	// local per-rank termination tests the bound against a threshold
+	// scaled for a single rank's share of the contributions (§5.3).
+	localSegs int
+	// noBackup skips the full-precision re-check of in-bound outlier
+	// comparisons, accepting the lossy truncated distance — the paper's
+	// Table 5(b) variant that trades accuracy for space.
+	noBackup bool
+}
+
+var _ engine.Engine = (*ETEngine)(nil)
+
+// NewETEngine builds an engine for one searcher.
+func (s *Store) NewETEngine(metric vecmath.Metric) *ETEngine {
+	e := &ETEngine{
+		store:     s,
+		metric:    metric,
+		b:         bitplane.NewBounder(s.Layout, metric, s.Prefix.PrefixVal),
+		localSegs: 1,
+	}
+	if s.Prefix.Enabled() {
+		e.ob = prefixelim.NewOutlierBounder(s.Prefix, metric)
+	}
+	return e
+}
+
+// SetNoBackup disables the outlier backup re-check (Table 5(b)): accepted
+// outlier comparisons then report the truncated-encoding lower bound as
+// their distance, which loses accuracy but saves the backup space and
+// accesses.
+func (e *ETEngine) SetNoBackup(v bool) { e.noBackup = v }
+
+// SetLocalSegments configures the dimension-split factor used to model
+// local per-rank early termination; 1 (the default) means the vector lives
+// whole in one rank and local equals global termination.
+func (e *ETEngine) SetLocalSegments(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.localSegs = n
+}
+
+// localThreshold scales the rejection threshold to the stricter test one
+// rank applies to its 1/R share of the contributions: for L2 the partial
+// sum of squares must alone exceed threshold², i.e. the equivalent global
+// bound is threshold·√R; for IP the partial upper sum must alone drop
+// below -threshold, i.e. the global bound must exceed threshold·R. The
+// result is clamped to be no looser than the global threshold (negative IP
+// thresholds would otherwise invert the ordering).
+func (e *ETEngine) localThreshold(th float64) float64 {
+	if e.localSegs == 1 {
+		return th
+	}
+	var scaled float64
+	switch e.metric {
+	case vecmath.L2:
+		scaled = th * math.Sqrt(float64(e.localSegs))
+	default:
+		scaled = th * float64(e.localSegs)
+	}
+	if scaled < th {
+		return th
+	}
+	return scaled
+}
+
+// StartQuery implements engine.Engine.
+func (e *ETEngine) StartQuery(q []float32) {
+	e.query = q
+	e.b.ResetQuery(q)
+	if e.ob != nil {
+		e.ob.ResetQuery(q)
+	}
+}
+
+// Compare implements engine.Engine: it fetches the vector's lines in
+// storage order, early-terminating once the bound proves rejection. For
+// outlier-encoded vectors an in-bound result triggers the full-precision
+// backup re-check, preserving exactness (§4.2).
+func (e *ETEngine) Compare(id uint32, threshold float64) engine.Result {
+	data := e.store.slot(id)
+	if e.ob != nil && e.store.isOutlier[int(id)] {
+		e.ob.Reset()
+		lb, lines := e.ob.RunET(data, threshold)
+		if lb > threshold {
+			return engine.Result{Dist: lb, Lines: lines, LinesLocal: lines, Outlier: true}
+		}
+		if e.noBackup {
+			// Accept the truncated distance (accuracy-lossy variant).
+			return engine.Result{Dist: lb, Accepted: true, Lines: lines, LinesLocal: lines, Outlier: true}
+		}
+		// In-bound on the lossy encoding: re-check against the backup.
+		d := e.metric.Distance(e.query, e.store.vectors[id])
+		return engine.Result{
+			Dist: d, Accepted: d <= threshold,
+			Lines: lines, LinesLocal: lines,
+			BackupLines: e.store.backupLines, Outlier: true,
+		}
+	}
+	e.b.Reset()
+	lb, lines, linesLocal := e.b.RunETLocal(data, threshold, e.localThreshold(threshold))
+	if lines < e.store.Layout.LinesPerVector() && lb > threshold {
+		return engine.Result{Dist: lb, Lines: lines, LinesLocal: linesLocal}
+	}
+	// Fully fetched: the bound is the exact distance (normal vectors are
+	// losslessly encoded).
+	return engine.Result{Dist: lb, Accepted: lb <= threshold, Lines: lines, LinesLocal: linesLocal}
+}
+
+// LinesPerVector implements engine.Engine.
+func (e *ETEngine) LinesPerVector() int { return e.store.slotLines }
+
+// Metric implements engine.Engine.
+func (e *ETEngine) Metric() vecmath.Metric { return e.metric }

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/dram"
+	"ansmet/internal/engine"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/ivf"
+	"ansmet/internal/layout"
+	"ansmet/internal/partition"
+	"ansmet/internal/polling"
+	"ansmet/internal/prefixelim"
+	"ansmet/internal/sim"
+	"ansmet/internal/stats"
+	"ansmet/internal/trace"
+	"ansmet/internal/vecmath"
+)
+
+// SystemConfig selects the design point and platform parameters.
+type SystemConfig struct {
+	Design Design
+
+	Mem  dram.Config
+	Host sim.HostParams
+	NDP  sim.NDPParams
+
+	// Scheme and SubVectorBytes control rank partitioning (§5.3); the
+	// paper's default is hybrid with S = 1 kB.
+	Scheme         partition.Scheme
+	SubVectorBytes int
+	// ReplicateTopLayers replicates the vectors of the top N HNSW layers
+	// to every rank group (0 disables).
+	ReplicateTopLayers int
+
+	// Poll is the result-retrieval policy; nil defaults to the
+	// conventional fixed 100 ns interval.
+	Poll polling.Policy
+
+	// SampleSize is the offline sampling-set size (paper default: 100).
+	SampleSize int
+	LayoutOpts layout.Options
+	Seed       uint64
+
+	// InFlightFactor bounds query concurrency in NDP mode.
+	InFlightFactor int
+
+	// BeamBatch pops this many candidates per base-layer hop (delayed-
+	// synchronization traversal), amortizing the per-hop offload and
+	// polling synchronization; 1 is the textbook sequential beam search.
+	BeamBatch int
+}
+
+// DefaultSystemConfig returns the paper's platform defaults for a design.
+// All designs default to the conventional fixed 100 ns polling interval;
+// the adaptive policy of §5.4 is evaluated explicitly in the Fig. 9
+// experiment (it improves per-query latency, but at saturation the trace
+// replayer's query pacing under adaptive polling is noisy — see
+// EXPERIMENTS.md).
+func DefaultSystemConfig(d Design) SystemConfig {
+	cfg := SystemConfig{
+		Design:             d,
+		Mem:                dram.DefaultConfig(),
+		Host:               sim.DefaultHost(),
+		NDP:                sim.DefaultNDP(),
+		Scheme:             partition.Hybrid,
+		SubVectorBytes:     1024,
+		ReplicateTopLayers: 4,
+		Poll:               polling.Conventional{IntervalNs: 100},
+		SampleSize:         100,
+		LayoutOpts:         layout.DefaultOptions(),
+		Seed:               1,
+	}
+	cfg.BeamBatch = 8
+	return cfg
+}
+
+// System is a fully preprocessed ANSMET instance over one dataset: encoded
+// storage, distance engine, partitioning map and timing configuration.
+type System struct {
+	Cfg    SystemConfig
+	Elem   vecmath.ElemType
+	Metric vecmath.Metric
+	Dim    int
+
+	Store    *Store // nil for the Base designs
+	Engine   engine.Engine
+	Index    *hnsw.Index
+	Part     *partition.Map
+	SimCfg   sim.Config
+	Analysis *layout.Analysis // nil unless the design samples
+	Params   layout.Params    // zero unless the design samples
+
+	// PreprocessSeconds is the wall time of the offline pass: sampling,
+	// parameter search and layout transformation (Table 4).
+	PreprocessSeconds float64
+}
+
+// NewSystem preprocesses the dataset for the configured design. The index
+// must have been built over the same vectors.
+func NewSystem(vectors [][]float32, elem vecmath.ElemType, metric vecmath.Metric, index *hnsw.Index, cfg SystemConfig) (*System, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if cfg.Poll == nil {
+		cfg.Poll = polling.Conventional{IntervalNs: 100}
+	}
+	s := &System{
+		Cfg: cfg, Elem: elem, Metric: metric, Dim: len(vectors[0]), Index: index,
+	}
+	start := time.Now()
+
+	// Offline sampling pass (dual-granularity / prefix designs).
+	var sched bitplane.Schedule
+	var prefix prefixelim.Config
+	switch cfg.Design {
+	case CPUBase, NDPBase:
+		sched = bitplane.PlainSchedule(elem) // engine is exact; schedule only sizes lines
+	case NDPDimET:
+		sched = bitplane.PlainSchedule(elem)
+	case NDPBitET:
+		sched = bitplane.UniformSchedule(elem, 0, 1)
+	case NDPET, CPUET:
+		sched = layout.SimpleHeuristicSchedule(elem)
+	case NDPETDual, NDPETOpt, CPUETOpt:
+		an, err := s.analyze(vectors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Analysis = an
+		s.Params = an.BestParams(cfg.Design.UsesPrefixElim())
+		sched = s.Params.Schedule(elem)
+		if s.Params.PrefixLen > 0 {
+			prefix = prefixelim.Config{
+				Elem: elem, Dim: s.Dim,
+				PrefixLen: s.Params.PrefixLen, PrefixVal: s.Params.PrefixVal,
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown design %v", cfg.Design)
+	}
+
+	// Engine + storage.
+	backupLines := (s.Dim*elem.Bytes() + 63) / 64
+	var lines int
+	var groupLines []int
+	if cfg.Design.UsesET() {
+		store, err := BuildStore(vectors, elem, sched, prefix)
+		if err != nil {
+			return nil, err
+		}
+		s.Store = store
+		s.Engine = store.NewETEngine(metric)
+		lines = store.SlotLines()
+		groupLines = store.Layout.GroupLineCounts()
+	} else {
+		s.Engine = engine.NewExact(vectors, metric, elem)
+		lines = s.Engine.LinesPerVector()
+		groupLines = []int{lines}
+	}
+
+	// Partitioning.
+	part, err := partition.New(cfg.Scheme, cfg.Mem.Ranks(), lines,
+		cfg.SubVectorBytes, cfg.Mem.BanksPerRank(), cfg.Mem.RowBytes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReplicateTopLayers > 0 && index != nil && part.Groups() > 1 {
+		// Replicate the top layers, but never more than ~2% of the dataset:
+		// on the paper's billion-scale graphs four layers are a 0.14%
+		// sliver, while on a small graph they can cover almost everything.
+		budget := len(vectors) / 50
+		if budget < 1 {
+			budget = 1
+		}
+		for l := cfg.ReplicateTopLayers; l >= 1; l-- {
+			ids := index.TopLayerIDs(l)
+			if len(ids) <= budget || l == 1 {
+				part.SetReplicated(ids)
+				break
+			}
+		}
+	}
+	s.Part = part
+	if ee, ok := s.Engine.(*ETEngine); ok {
+		// Local per-rank early termination tests against a threshold scaled
+		// for the rank's 1/segments share of the dimensions (§5.3).
+		ee.SetLocalSegments(part.NumSegments())
+	}
+
+	// Polling estimator: measured line distribution when available, a
+	// full-fetch point mass otherwise.
+	var est polling.TaskEstimator
+	if s.Analysis != nil {
+		est = polling.NewTaskEstimator(s.Analysis.LineDistribution(sched))
+	} else {
+		dist := make([]float64, lines)
+		dist[lines-1] = 1
+		est = polling.NewTaskEstimator(dist)
+	}
+
+	s.SimCfg = sim.Config{
+		Mem: cfg.Mem, UseNDP: cfg.Design.UsesNDP(),
+		Host: cfg.Host, NDP: cfg.NDP,
+		Part:           part,
+		GroupLines:     groupLines,
+		QueryLines:     backupLines,
+		Poll:           cfg.Poll,
+		Est:            est,
+		InFlightFactor: cfg.InFlightFactor,
+	}
+	s.PreprocessSeconds = time.Since(start).Seconds()
+	return s, nil
+}
+
+// analyze runs the sampling pass over a seeded random subset.
+func (s *System) analyze(vectors [][]float32, cfg SystemConfig) (*layout.Analysis, error) {
+	n := cfg.SampleSize
+	if n <= 0 {
+		n = 100
+	}
+	if n > len(vectors) {
+		n = len(vectors)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	perm := rng.Perm(len(vectors))
+	sample := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		sample[i] = vectors[perm[i]]
+	}
+	return layout.Analyze(sample, s.Elem, s.Metric, cfg.LayoutOpts)
+}
+
+// RunResult bundles the functional and timing outcomes of a query batch.
+type RunResult struct {
+	Results [][]hnsw.Neighbor
+	Traces  []*trace.Query
+	Report  *sim.Report
+}
+
+// RunHNSW executes the queries functionally on the HNSW index (recording
+// traces) and replays them on the timing model.
+func (s *System) RunHNSW(queries [][]float32, k, ef int) *RunResult {
+	batch := s.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	out := &RunResult{}
+	for _, q := range queries {
+		rec := &trace.Query{}
+		res := s.Index.SearchBatched(q, k, ef, batch, s.Engine, rec)
+		out.Results = append(out.Results, res)
+		out.Traces = append(out.Traces, rec)
+	}
+	out.Report = sim.Run(s.SimCfg, out.Traces)
+	return out
+}
+
+// RunIVF executes the queries against an IVF index built over the same
+// vectors, using this system's engine and timing model.
+func (s *System) RunIVF(ix *ivf.Index, queries [][]float32, k, ef, nprobe int) *RunResult {
+	out := &RunResult{}
+	for _, q := range queries {
+		rec := &trace.Query{}
+		res := ix.Search(q, k, ef, nprobe, s.Engine, rec)
+		out.Results = append(out.Results, res)
+		out.Traces = append(out.Traces, rec)
+	}
+	out.Report = sim.Run(s.SimCfg, out.Traces)
+	return out
+}
+
+// NewWorkerEngine creates an independent distance engine over this
+// system's storage — engines are not safe for concurrent use, so parallel
+// searchers need one each.
+func (s *System) NewWorkerEngine() engine.Engine {
+	if s.Store != nil {
+		e := s.Store.NewETEngine(s.Metric)
+		e.SetLocalSegments(s.Part.NumSegments())
+		return e
+	}
+	ex, ok := s.Engine.(*engine.Exact)
+	if !ok {
+		panic("core: unexpected engine type")
+	}
+	return engine.NewExact(ex.Vectors, s.Metric, s.Elem)
+}
+
+// MustExactEngine builds a full-precision engine over the vectors; a
+// convenience for benchmarks and tools.
+func MustExactEngine(vectors [][]float32, metric vecmath.Metric, elem vecmath.ElemType) engine.Engine {
+	return engine.NewExact(vectors, metric, elem)
+}
+
+// Replay re-runs the timing phase over previously recorded traces, e.g. to
+// time a different stream length or after tweaking SimCfg.
+func Replay(s *System, traces []*trace.Query) *sim.Report {
+	return sim.Run(s.SimCfg, traces)
+}
+
+// IDs extracts the result id lists (for recall computation).
+func (r *RunResult) IDs() [][]uint32 {
+	out := make([][]uint32, len(r.Results))
+	for i, res := range r.Results {
+		ids := make([]uint32, len(res))
+		for j, n := range res {
+			ids[j] = n.ID
+		}
+		out[i] = ids
+	}
+	return out
+}

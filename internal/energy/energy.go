@@ -1,0 +1,63 @@
+// Package energy accounts system energy for the evaluated designs (paper
+// Fig. 7) from the simulation's activity counters. Constants follow the
+// paper's Table 1 (7 W per host core, 300 mW per NDP unit) and typical
+// DDR5 per-operation energies; Fig. 7 compares ratios between designs, so
+// the constant scale cancels.
+package energy
+
+// Model holds per-event and per-time energy constants.
+type Model struct {
+	// DRAM per-operation energies in nanojoules.
+	ActivateNJ  float64 // one ACT+PRE pair (whole rank)
+	Burst64BNJ  float64 // internal array access + datapath for one 64 B burst
+	HostIO64BNJ float64 // extra channel I/O energy for a host-visible burst
+	// Compute power in watts.
+	CoreW    float64 // one host core, busy
+	NDPUnitW float64 // one NDP unit, busy
+}
+
+// Default returns the reproduction's energy constants.
+func Default() Model {
+	return Model{
+		ActivateNJ:  15,
+		Burst64BNJ:  6,
+		HostIO64BNJ: 5,
+		CoreW:       7,
+		NDPUnitW:    0.3,
+	}
+}
+
+// Activity summarizes what happened during a simulated run.
+type Activity struct {
+	Activates  uint64
+	HostBursts uint64  // 64 B transfers over channel buses
+	NDPBursts  uint64  // 64 B transfers over rank-internal buses
+	CoreBusyNs float64 // summed across cores
+	NDPBusyNs  float64 // summed across units
+}
+
+// Breakdown is the per-component energy in millijoules.
+type Breakdown struct {
+	DRAMmJ float64
+	CPUmJ  float64
+	NDPmJ  float64
+}
+
+// TotalMJ returns the system total in millijoules.
+func (b Breakdown) TotalMJ() float64 { return b.DRAMmJ + b.CPUmJ + b.NDPmJ }
+
+// Compute converts activity counters into energy.
+func (m Model) Compute(a Activity) Breakdown {
+	dramNJ := float64(a.Activates)*m.ActivateNJ +
+		float64(a.HostBursts)*(m.Burst64BNJ+m.HostIO64BNJ) +
+		float64(a.NDPBursts)*m.Burst64BNJ
+	// watts × ns = nJ.
+	cpuNJ := m.CoreW * a.CoreBusyNs
+	ndpNJ := m.NDPUnitW * a.NDPBusyNs
+	const nj2mj = 1e-6
+	return Breakdown{
+		DRAMmJ: dramNJ * nj2mj,
+		CPUmJ:  cpuNJ * nj2mj,
+		NDPmJ:  ndpNJ * nj2mj,
+	}
+}

@@ -1,0 +1,45 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	m := Default()
+	a := Activity{
+		Activates:  1000,
+		HostBursts: 2000,
+		NDPBursts:  3000,
+		CoreBusyNs: 1e6, // 1 ms of one core
+		NDPBusyNs:  2e6,
+	}
+	b := m.Compute(a)
+	wantDRAM := (1000*15 + 2000*11 + 3000*6) * 1e-6
+	if math.Abs(b.DRAMmJ-wantDRAM) > 1e-12 {
+		t.Errorf("DRAM = %v mJ, want %v", b.DRAMmJ, wantDRAM)
+	}
+	if math.Abs(b.CPUmJ-7.0) > 1e-9 { // 7W * 1ms = 7mJ
+		t.Errorf("CPU = %v mJ, want 7", b.CPUmJ)
+	}
+	if math.Abs(b.NDPmJ-0.6) > 1e-9 { // 0.3W * 2ms
+		t.Errorf("NDP = %v mJ, want 0.6", b.NDPmJ)
+	}
+	if math.Abs(b.TotalMJ()-(b.DRAMmJ+b.CPUmJ+b.NDPmJ)) > 1e-12 {
+		t.Error("total mismatch")
+	}
+}
+
+func TestCoreVsNDPPowerGap(t *testing.T) {
+	// The design premise: an NDP unit burns ~23x less power than a core.
+	m := Default()
+	if m.CoreW/m.NDPUnitW < 20 {
+		t.Errorf("core/NDP power ratio %v too small", m.CoreW/m.NDPUnitW)
+	}
+}
+
+func TestZeroActivity(t *testing.T) {
+	if got := Default().Compute(Activity{}).TotalMJ(); got != 0 {
+		t.Errorf("zero activity energy = %v", got)
+	}
+}

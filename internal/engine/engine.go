@@ -1,0 +1,94 @@
+// Package engine defines the distance-comparison abstraction that decouples
+// index traversal (host CPU side) from distance computation (CPU kernels or
+// NDP units). ANNS indexes call an Engine for every candidate vector; the
+// engine may early-terminate the comparison once a provable lower bound
+// exceeds the supplied threshold, and reports how much data it fetched so
+// the timing models can charge the right memory traffic.
+package engine
+
+import "ansmet/internal/vecmath"
+
+// Result describes the outcome of one comparison task.
+type Result struct {
+	// Dist is the exact distance when Accepted; otherwise it is the lower
+	// bound at which the comparison terminated.
+	Dist float64
+	// Accepted reports Dist <= threshold with Dist exact. Early-terminated
+	// comparisons are always rejections (the bound proved Dist > threshold).
+	Accepted bool
+	// Lines is the number of 64 B data lines fetched from the vector's
+	// primary storage under sequential (single-rank) early termination.
+	Lines int
+	// LinesLocal is the sequential-line position at which *local* early
+	// termination fires when the vector is dimension-split across ranks:
+	// each rank can only compare its own partial bound against the full
+	// threshold (paper §5.3), which is a stricter test, so LinesLocal >=
+	// Lines. It equals the full line count when local ET never fires.
+	// The timing model divides it by the segment count to get per-rank
+	// fetch counts.
+	LinesLocal int
+	// BackupLines is the number of extra 64 B lines fetched from the
+	// full-precision backup copy (outlier re-check path).
+	BackupLines int
+	// Outlier reports whether the vector used the outlier encoding.
+	Outlier bool
+}
+
+// TotalLines returns primary plus backup lines fetched.
+func (r Result) TotalLines() int { return r.Lines + r.BackupLines }
+
+// Engine performs distance comparisons for one query at a time.
+// Implementations are not safe for concurrent use; create one per worker.
+type Engine interface {
+	// StartQuery installs the query vector for subsequent comparisons.
+	StartQuery(q []float32)
+	// Compare computes the comparison of the current query against the
+	// stored vector id with the given rejection threshold.
+	Compare(id uint32, threshold float64) Result
+	// LinesPerVector returns how many lines a full fetch of one vector
+	// takes from primary storage (used by timing and utilization stats).
+	LinesPerVector() int
+	// Metric returns the distance metric in effect.
+	Metric() vecmath.Metric
+}
+
+// Exact is the reference engine: it computes full-precision distances
+// directly from the in-memory float vectors and counts a full fetch for
+// every comparison. Index construction and the Base designs use it.
+type Exact struct {
+	Vectors [][]float32
+	M       vecmath.Metric
+	// FullLines is the plain-layout line count per vector.
+	FullLines int
+
+	query []float32
+}
+
+// NewExact builds an exact engine over the dataset.
+func NewExact(vectors [][]float32, m vecmath.Metric, elem vecmath.ElemType) *Exact {
+	dim := 0
+	if len(vectors) > 0 {
+		dim = len(vectors[0])
+	}
+	bytesPer := dim * elem.Bytes()
+	lines := (bytesPer + 63) / 64
+	if lines == 0 {
+		lines = 1
+	}
+	return &Exact{Vectors: vectors, M: m, FullLines: lines}
+}
+
+// StartQuery implements Engine.
+func (e *Exact) StartQuery(q []float32) { e.query = q }
+
+// Compare implements Engine.
+func (e *Exact) Compare(id uint32, threshold float64) Result {
+	d := e.M.Distance(e.query, e.Vectors[id])
+	return Result{Dist: d, Accepted: d <= threshold, Lines: e.FullLines, LinesLocal: e.FullLines}
+}
+
+// LinesPerVector implements Engine.
+func (e *Exact) LinesPerVector() int { return e.FullLines }
+
+// Metric implements Engine.
+func (e *Exact) Metric() vecmath.Metric { return e.M }

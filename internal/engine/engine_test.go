@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"ansmet/internal/vecmath"
+)
+
+func TestExactEngine(t *testing.T) {
+	vecs := [][]float32{{0, 0}, {3, 4}, {6, 8}}
+	e := NewExact(vecs, vecmath.L2, vecmath.Float32)
+	e.StartQuery([]float32{0, 0})
+	r := e.Compare(1, 10)
+	if math.Abs(r.Dist-5) > 1e-12 || !r.Accepted {
+		t.Errorf("Compare(1) = %+v", r)
+	}
+	r = e.Compare(2, 5)
+	if r.Accepted {
+		t.Errorf("vector beyond threshold accepted: %+v", r)
+	}
+	if r.Lines != e.LinesPerVector() {
+		t.Errorf("exact engine must charge a full fetch: %d vs %d", r.Lines, e.LinesPerVector())
+	}
+}
+
+func TestExactLineCount(t *testing.T) {
+	cases := []struct {
+		dim   int
+		elem  vecmath.ElemType
+		lines int
+	}{
+		{128, vecmath.Uint8, 2},   // 128 B
+		{128, vecmath.Float32, 8}, // 512 B
+		{960, vecmath.Float32, 60},
+		{100, vecmath.Int8, 2}, // 100 B -> 2 lines
+		{1, vecmath.Uint8, 1},
+	}
+	for _, c := range cases {
+		vecs := [][]float32{make([]float32, c.dim)}
+		e := NewExact(vecs, vecmath.L2, c.elem)
+		if e.LinesPerVector() != c.lines {
+			t.Errorf("%d-dim %v: %d lines, want %d", c.dim, c.elem, e.LinesPerVector(), c.lines)
+		}
+	}
+}
+
+func TestResultTotalLines(t *testing.T) {
+	r := Result{Lines: 3, BackupLines: 2}
+	if r.TotalLines() != 5 {
+		t.Errorf("TotalLines = %d", r.TotalLines())
+	}
+}

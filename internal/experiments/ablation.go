@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ansmet/internal/core"
+	"ansmet/internal/layout"
+	"ansmet/internal/prefixelim"
+	"ansmet/internal/quantize"
+	"ansmet/internal/vecmath"
+)
+
+// AblationBeamBatch sweeps the delayed-synchronization batch size (the
+// BeamBatch modeling decision in DESIGN.md): larger batches amortize the
+// per-hop offload/poll synchronization on the NDP side at the cost of a few
+// extra comparisons.
+func (r *Runner) AblationBeamBatch() *Table {
+	t := &Table{
+		Title:  "Ablation: delayed-synchronization batch size (SIFT, NDP-ETOpt)",
+		Header: []string{"batch", "hops/query", "tasks/query", "recall@10", "QPS", "normQPS"},
+	}
+	var base float64
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		bb := batch
+		w, sys := r.system("SIFT", core.NDPETOpt, func(c *core.SystemConfig) {
+			c.BeamBatch = bb
+		})
+		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+		rep := r.timedReport(sys, run)
+		hops, tasks := 0, 0
+		for _, tr := range run.Traces {
+			hops += len(tr.Hops)
+			tasks += tr.TotalTasks()
+		}
+		q := rep.QPS()
+		if base == 0 {
+			base = q
+		}
+		n := len(run.Traces)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(batch), fmt.Sprint(hops / n), fmt.Sprint(tasks / n),
+			fmt.Sprintf("%.3f", recallOf(w, run)),
+			fmt.Sprintf("%.0f", q), f2(q / base),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"fewer synchronization points lift NDP throughput; extra visited candidates keep recall flat or better")
+	return t
+}
+
+// AblationQuantization compares ANSMET's lossless early termination against
+// the quantization schemes the paper discusses (§4.3): SQ8 data dropped
+// into the ET store, and PQ with partial-element early termination. The
+// comparison is per-comparison data fetched versus exactness.
+func (r *Runner) AblationQuantization() *Table {
+	t := &Table{
+		Title:  "Ablation: early termination vs/with vector quantization (DEEP, exact top-10 scans)",
+		Header: []string{"scheme", "bytes/comparison", "recall@10", "exactInItsSpace"},
+	}
+	w := r.load("DEEP")
+	p := w.ds.Profile
+	nq := len(w.ds.Queries)
+	plainBytes := float64((p.Dim*p.Elem.Bytes() + 63) / 64 * 64)
+
+	addRow := func(name string, bytesPer float64, recall float64, exact bool) {
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%.0f", bytesPer), fmt.Sprintf("%.3f", recall), fmt.Sprint(exact),
+		})
+	}
+
+	// Plain brute-force scan.
+	addRow("full-precision scan", plainBytes, 1.0, true)
+
+	// ANSMET ET exact scan (lossless).
+	{
+		_, sys := r.system("DEEP", core.NDPETOpt, nil)
+		eng := sys.Store.NewETEngine(p.Metric)
+		totalLines := 0
+		rec := 0.0
+		for qi, q := range w.ds.Queries {
+			nn, lines := eng.ExactKNN(q, 10)
+			totalLines += lines
+			ids := make([]uint32, len(nn))
+			for i, n := range nn {
+				ids[i] = n.ID
+			}
+			rec += recallIDs(ids, w.gt[qi])
+		}
+		per := float64(totalLines*64) / float64(nq*len(w.ds.Vectors))
+		addRow("ANSMET ET scan", per, rec/float64(nq), true)
+	}
+
+	// SQ8 + ET: quantized store, approximate distances.
+	{
+		sq, err := quantize.FitScalar(w.ds.Vectors, true)
+		if err != nil {
+			panic(err)
+		}
+		qv := make([][]float32, len(w.ds.Vectors))
+		for i, v := range w.ds.Vectors {
+			qv[i] = sq.Quantize(v)
+		}
+		st, err := core.BuildStore(qv, vecmath.Uint8,
+			layout.SimpleHeuristicSchedule(vecmath.Uint8), prefixelim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		eng := st.NewETEngine(p.Metric)
+		totalLines := 0
+		rec := 0.0
+		for qi, q := range w.ds.Queries {
+			nn, lines := eng.ExactKNN(sq.Quantize(q), 10)
+			totalLines += lines
+			ids := make([]uint32, len(nn))
+			for i, n := range nn {
+				ids[i] = n.ID
+			}
+			rec += recallIDs(ids, w.gt[qi])
+		}
+		per := float64(totalLines*64) / float64(nq*len(w.ds.Vectors))
+		addRow("SQ8 + ET scan", per, rec/float64(nq), false)
+	}
+
+	// PQ with partial-element ET (§4.3).
+	{
+		pq, err := quantize.FitPQ(w.ds.Vectors, 16, 64, 10, r.Scale.Seed)
+		if err != nil {
+			panic(err)
+		}
+		codes := make([][]uint8, len(w.ds.Vectors))
+		for i, v := range w.ds.Vectors {
+			codes[i] = pq.Encode(v)
+		}
+		totalFetched := 0
+		rec := 0.0
+		for qi, q := range w.ds.Queries {
+			tab := pq.NewTable(q, p.Metric)
+			ids, _, fetched, _ := tab.ETScan(codes, 10)
+			totalFetched += fetched
+			rec += recallIDs(ids, w.gt[qi])
+		}
+		per := float64(totalFetched) / float64(nq*len(w.ds.Vectors)) // 1 B per codeword
+		addRow("PQ16x64 + partial-element ET", per, rec/float64(nq), false)
+	}
+
+	t.Notes = append(t.Notes,
+		"quantization fetches less but loses accuracy; ANSMET's bit-plane ET cuts fetches with zero loss (§4.3)")
+	return t
+}
+
+func recallIDs(got, truth []uint32) float64 {
+	set := make(map[uint32]bool, len(truth))
+	for _, id := range truth {
+		set[id] = true
+	}
+	hit := 0
+	for _, id := range got {
+		if set[id] {
+			hit++
+		}
+	}
+	if len(truth) == 0 {
+		return 1
+	}
+	return float64(hit) / float64(len(truth))
+}

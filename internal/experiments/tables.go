@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ansmet/internal/core"
+	"ansmet/internal/dataset"
+	"ansmet/internal/stats"
+	"ansmet/internal/trace"
+)
+
+// Table3 reproduces the NDP-unit scaling study (Table 3): ANSMET speedup
+// over CPU-Base as the rank (= unit) count grows from 8 to 64, with the
+// host fixed at 4 channels.
+func (r *Runner) Table3() *Table {
+	t := &Table{
+		Title:  "Table 3: ANSMET speedup over CPU-Base vs number of NDP units (SIFT)",
+		Header: []string{"units", "speedup"},
+	}
+	w, base := r.system("SIFT", core.CPUBase, nil)
+	baseRun := base.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+	cpuQPS := r.timedReport(base, baseRun).QPS()
+	for _, ranksPerDIMM := range []int{1, 2, 4, 8} {
+		rp := ranksPerDIMM
+		_, sys := r.system("SIFT", core.NDPETOpt, func(c *core.SystemConfig) {
+			c.Mem.RanksPerDIMM = rp
+		})
+		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+		units := 4 * 2 * rp
+		t.Rows = append(t.Rows, []string{fmt.Sprint(units), f2(r.timedReport(sys, run).QPS() / cpuQPS)})
+	}
+	t.Notes = append(t.Notes,
+		"paper: 1.94x/3.72x/6.04x/7.60x for 8/16/32/64 units — near-linear to 32, saturating after")
+	return t
+}
+
+// Table4 reproduces the preprocessing-cost comparison (Table 4): ANSMET's
+// offline sampling + layout transformation time versus HNSW graph
+// construction time.
+func (r *Runner) Table4() *Table {
+	t := &Table{
+		Title:  "Table 4: preprocessing time vs graph construction time",
+		Header: []string{"dataset", "preproc(s)", "graphConstr(s)", "overhead"},
+	}
+	for _, name := range AllProfiles {
+		w, sys := r.system(name, core.NDPETOpt, nil)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.3f", sys.PreprocessSeconds),
+			fmt.Sprintf("%.3f", w.buildSeconds),
+			pct(sys.PreprocessSeconds / w.buildSeconds),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: preprocessing adds < 1% over graph construction")
+	return t
+}
+
+// Table5 reproduces the outlier-fraction sweep for common-prefix
+// elimination (Table 5) on SPACEV at k=10. Part (a) keeps the backup
+// re-check (no accuracy loss); part (b) drops it and reports the recall
+// loss.
+func (r *Runner) Table5() *Table {
+	t := &Table{
+		Title: "Table 5: outlier-aware common prefix elimination (SPACEV, k=10)",
+		Header: []string{"outlier%", "prefixBits", "speedup", "savedSpace",
+			"extraSpace", "extraAccesses", "recallLoss(noBackup)"},
+	}
+	w, baseSys := r.system("SPACEV", core.NDPETDual, nil)
+	baseRun := baseSys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+	baseQPS := r.timedReport(baseSys, baseRun).QPS()
+	baseRecall := recallOf(w, baseRun)
+
+	for _, budget := range []float64{0, 0.0001, 0.001, 0.01, 0.2} {
+		b := budget
+		_, sys := r.system("SPACEV", core.NDPETOpt, func(c *core.SystemConfig) {
+			c.LayoutOpts.OutlierBudget = b
+		})
+		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+		speedup := r.timedReport(sys, run).QPS()/baseQPS - 1
+
+		saved := 0.0
+		extraSpace := 0.0
+		if sys.Store != nil {
+			saved = sys.Store.SpaceSavedFraction()
+			// Backup copies are needed only for outlier vectors.
+			extraSpace = float64(sys.Store.NumOutliers()*sys.Store.BackupLines()) /
+				float64(sys.Store.Len()*sys.Store.BackupLines())
+		}
+		backup, total := backupLineShare(run.Traces)
+
+		// Accuracy-lossy variant: drop the backup re-check.
+		var recallLoss float64
+		if ee, ok := sys.Engine.(*core.ETEngine); ok {
+			ee.SetNoBackup(true)
+			lossy := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+			recallLoss = baseRecall - recallOf(w, lossy)
+			ee.SetNoBackup(false)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g%%", budget*100),
+			fmt.Sprint(sys.Params.PrefixLen),
+			fmt.Sprintf("%+.1f%%", speedup*100),
+			pct(saved), pct(extraSpace),
+			pct(backup / total),
+			fmt.Sprintf("%.1f%%", recallLoss*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: 0.1% outliers saves 37.5% space with +32% speedup and ~1.4% extra accesses; 20% outliers backfires; no backup loses 34.7% accuracy")
+	return t
+}
+
+// backupLineShare counts backup versus total fetched lines in traces.
+func backupLineShare(traces []*trace.Query) (backup, total float64) {
+	for _, tr := range traces {
+		for _, h := range tr.Hops {
+			for _, task := range h.Tasks {
+				backup += float64(task.Result.BackupLines)
+				total += float64(task.Result.TotalLines())
+			}
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	return backup, total
+}
+
+// Replication reproduces the §5.3 load-balance study: the ratio between
+// the most-loaded NDP unit and the average, with and without replicating
+// the top HNSW layers, under uniform and zipf(2.0)-skewed query streams.
+func (r *Runner) Replication() *Table {
+	t := &Table{
+		Title:  "§5.3: hot-vector replication and load imbalance (GIST)",
+		Header: []string{"queryDist", "replication", "imbalance(max/mean)"},
+	}
+	w := r.load("GIST")
+	// A diverse query pool: skew must come from the query *distribution*
+	// (some queries asked far more often), not from having few queries.
+	pool := dataset.Generate(w.ds.Profile, 0, 96, r.Scale.Seed+41).Queries
+	run := func(replicate bool, zipf bool) float64 {
+		_, sys := r.system("GIST", core.NDPBase, func(c *core.SystemConfig) {
+			if !replicate {
+				c.ReplicateTopLayers = 0
+			}
+		})
+		rng := stats.NewRNG(r.Scale.Seed + 99)
+		var idxs []int
+		if zipf {
+			idxs = dataset.ZipfQueryStream(rng, 2.0, len(pool), 4*len(pool))
+		} else {
+			for i := 0; i < 4*len(pool); i++ {
+				idxs = append(idxs, rng.Intn(len(pool)))
+			}
+		}
+		queries := make([][]float32, len(idxs))
+		for i, qi := range idxs {
+			queries[i] = pool[qi]
+		}
+		return sys.RunHNSW(queries, 10, r.Scale.EfSearch).Report.ImbalanceRatio()
+	}
+	for _, z := range []bool{false, true} {
+		label := "uniform"
+		if z {
+			label = "zipf(2.0)"
+		}
+		t.Rows = append(t.Rows, []string{label, "off", f2(run(false, z))})
+		t.Rows = append(t.Rows, []string{label, "top-4-layers", f2(run(true, z))})
+	}
+	t.Notes = append(t.Notes,
+		"paper: replication reduces the ratio 1.49->1.05 (uniform) and 2.19->1.09 (zipf 2.0)")
+	return t
+}

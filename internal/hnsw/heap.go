@@ -1,0 +1,65 @@
+package hnsw
+
+// Neighbor is an (id, distance) pair.
+type Neighbor struct {
+	ID   uint32
+	Dist float64
+}
+
+// nheap is a binary heap of Neighbors. max=false gives a min-heap on Dist
+// (the search set of §2.1), max=true a max-heap (the result set).
+type nheap struct {
+	items []Neighbor
+	max   bool
+}
+
+func (h *nheap) Len() int { return len(h.items) }
+
+func (h *nheap) less(i, j int) bool {
+	if h.max {
+		return h.items[i].Dist > h.items[j].Dist
+	}
+	return h.items[i].Dist < h.items[j].Dist
+}
+
+func (h *nheap) Push(n Neighbor) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+// Top returns the root without removing it.
+func (h *nheap) Top() Neighbor { return h.items[0] }
+
+func (h *nheap) Pop() Neighbor {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.less(l, best) {
+			best = l
+		}
+		if r < last && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}
+
+func (h *nheap) Reset() { h.items = h.items[:0] }

@@ -1,0 +1,280 @@
+// Package hnsw implements the Hierarchical Navigable Small Worlds graph
+// index (Malkov & Yashunin, the paper's representative ANNS index, §2.1).
+// Construction follows the original algorithm with the heuristic neighbor
+// selection; search routes every distance comparison through an
+// engine.Engine so the same traversal runs against exact CPU kernels or the
+// early-terminating NDP model, optionally recording a trace.Query for the
+// timing simulation.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"ansmet/internal/stats"
+	"ansmet/internal/vecmath"
+)
+
+// Config holds the construction parameters. The paper builds its indexes
+// with efConstruction=500 and maximum degree 16 (§6); the scaled-down
+// experiments use smaller efConstruction, reported alongside results.
+type Config struct {
+	// M is the number of neighbors targeted per insertion on every layer.
+	M int
+	// MaxDegree caps the degree of any vertex (paper: 16).
+	MaxDegree int
+	// EfConstruction is the beam width during construction.
+	EfConstruction int
+	// Seed drives level assignment.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's construction parameters.
+func DefaultConfig() Config {
+	return Config{M: 16, MaxDegree: 16, EfConstruction: 500, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.M <= 0 || c.MaxDegree < c.M/2 || c.EfConstruction <= 0 {
+		return fmt.Errorf("hnsw: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Index is a built HNSW graph.
+type Index struct {
+	cfg     Config
+	metric  vecmath.Metric
+	vectors [][]float32
+
+	levels    []int        // level of each node
+	neighbors [][][]uint32 // [node][level] -> neighbor ids
+	entry     uint32
+	maxLevel  int
+}
+
+// Build constructs the index over the vectors with the given metric.
+func Build(vectors [][]float32, metric vecmath.Metric, cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("hnsw: empty dataset")
+	}
+	ix := &Index{
+		cfg:       cfg,
+		metric:    metric,
+		vectors:   vectors,
+		levels:    make([]int, len(vectors)),
+		neighbors: make([][][]uint32, len(vectors)),
+		maxLevel:  -1,
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	mL := 1 / math.Log(float64(cfg.M))
+	for i := range vectors {
+		lvl := int(-math.Log(1-rng.Float64()) * mL)
+		ix.levels[i] = lvl
+		ix.neighbors[i] = make([][]uint32, lvl+1)
+		ix.insert(uint32(i))
+	}
+	return ix, nil
+}
+
+func (ix *Index) dist(a uint32, q []float32) float64 {
+	return ix.metric.Distance(q, ix.vectors[a])
+}
+
+// insert adds node id to the graph (its level is already assigned).
+func (ix *Index) insert(id uint32) {
+	lvl := ix.levels[id]
+	if ix.maxLevel < 0 {
+		ix.entry = id
+		ix.maxLevel = lvl
+		return
+	}
+	q := ix.vectors[id]
+	cur := ix.entry
+	curDist := ix.dist(cur, q)
+	// Greedy descent through layers above the insertion level.
+	for l := ix.maxLevel; l > lvl; l-- {
+		cur, curDist = ix.greedyLayer(q, cur, curDist, l)
+	}
+	// Beam search and connect on each layer from min(lvl,maxLevel) down.
+	eps := []Neighbor{{ID: cur, Dist: curDist}}
+	top := lvl
+	if top > ix.maxLevel {
+		top = ix.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		w := ix.searchLayerExact(q, eps, ix.cfg.EfConstruction, l)
+		selected := ix.selectHeuristic(q, w, ix.cfg.M)
+		for _, n := range selected {
+			ix.connect(id, n.ID, l)
+			ix.connect(n.ID, id, l)
+		}
+		eps = w
+	}
+	if lvl > ix.maxLevel {
+		ix.maxLevel = lvl
+		ix.entry = id
+	}
+}
+
+// greedyLayer performs the hill-climbing descent used on upper layers.
+func (ix *Index) greedyLayer(q []float32, cur uint32, curDist float64, level int) (uint32, float64) {
+	for {
+		improved := false
+		for _, nb := range ix.neighborsAt(cur, level) {
+			d := ix.dist(nb, q)
+			if d < curDist {
+				cur, curDist = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+// searchLayerExact is the construction-time beam search (always exact).
+func (ix *Index) searchLayerExact(q []float32, eps []Neighbor, ef, level int) []Neighbor {
+	visited := newBitset(len(ix.vectors))
+	cand := &nheap{}             // min-heap: closest first
+	results := &nheap{max: true} // max-heap: worst first
+	for _, ep := range eps {
+		if visited.testAndSet(ep.ID) {
+			continue
+		}
+		cand.Push(ep)
+		results.Push(ep)
+	}
+	for results.Len() > ef {
+		results.Pop()
+	}
+	for cand.Len() > 0 {
+		c := cand.Pop()
+		if results.Len() >= ef && c.Dist > results.Top().Dist {
+			break
+		}
+		for _, nb := range ix.neighborsAt(c.ID, level) {
+			if visited.testAndSet(nb) {
+				continue
+			}
+			d := ix.dist(nb, q)
+			if results.Len() < ef || d < results.Top().Dist {
+				n := Neighbor{ID: nb, Dist: d}
+				cand.Push(n)
+				results.Push(n)
+				if results.Len() > ef {
+					results.Pop()
+				}
+			}
+		}
+	}
+	out := make([]Neighbor, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = results.Pop()
+	}
+	return out
+}
+
+// selectHeuristic implements the neighbor selection heuristic (Algorithm 4
+// of the HNSW paper): keep a candidate only if it is closer to the query
+// than to every already-selected neighbor, which spreads edges across
+// clusters.
+func (ix *Index) selectHeuristic(q []float32, cands []Neighbor, m int) []Neighbor {
+	if len(cands) <= m {
+		return cands
+	}
+	var out []Neighbor
+	for _, c := range cands { // cands are sorted ascending by distance
+		if len(out) >= m {
+			break
+		}
+		good := true
+		for _, s := range out {
+			if ix.metric.Distance(ix.vectors[c.ID], ix.vectors[s.ID]) < c.Dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			out = append(out, c)
+		}
+	}
+	// Fill remaining slots with nearest skipped candidates.
+	if len(out) < m {
+		chosen := make(map[uint32]bool, len(out))
+		for _, s := range out {
+			chosen[s.ID] = true
+		}
+		for _, c := range cands {
+			if len(out) >= m {
+				break
+			}
+			if !chosen[c.ID] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// connect adds dst to src's neighbor list at level, pruning to MaxDegree
+// with the selection heuristic when the list overflows.
+func (ix *Index) connect(src, dst uint32, level int) {
+	if src == dst {
+		return
+	}
+	lst := ix.neighbors[src][level]
+	for _, n := range lst {
+		if n == dst {
+			return
+		}
+	}
+	lst = append(lst, dst)
+	if len(lst) > ix.cfg.MaxDegree {
+		cands := make([]Neighbor, len(lst))
+		for i, n := range lst {
+			cands[i] = Neighbor{ID: n, Dist: ix.metric.Distance(ix.vectors[src], ix.vectors[n])}
+		}
+		sortNeighbors(cands)
+		sel := ix.selectHeuristic(ix.vectors[src], cands, ix.cfg.MaxDegree)
+		lst = lst[:0]
+		for _, s := range sel {
+			lst = append(lst, s.ID)
+		}
+	}
+	ix.neighbors[src][level] = lst
+}
+
+func (ix *Index) neighborsAt(id uint32, level int) []uint32 {
+	if level >= len(ix.neighbors[id]) {
+		return nil
+	}
+	return ix.neighbors[id][level]
+}
+
+// sortNeighbors sorts ascending by distance (insertion sort; lists are
+// bounded by MaxDegree+1).
+func sortNeighbors(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Dist < ns[j-1].Dist; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// bitset is a simple visited set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// testAndSet returns the previous value of bit id and sets it.
+func (b bitset) testAndSet(id uint32) bool {
+	w, m := id>>6, uint64(1)<<(id&63)
+	old := b[w]&m != 0
+	b[w] |= m
+	return old
+}

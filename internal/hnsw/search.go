@@ -1,0 +1,220 @@
+package hnsw
+
+import (
+	"math"
+
+	"ansmet/internal/engine"
+	"ansmet/internal/trace"
+)
+
+// Search finds the (approximate) k nearest neighbors of q with beam width
+// ef (the paper's efSearch / k′), routing every comparison through eng.
+// When rec is non-nil the per-hop comparison batches are recorded for the
+// timing simulation. Results are sorted ascending by distance.
+//
+// The rejection threshold of each hop is snapshotted when the hop's batch
+// is issued — matching the hardware, where each set-search task carries its
+// own distance threshold (§5.2).
+func (ix *Index) Search(q []float32, k, ef int, eng engine.Engine, rec *trace.Query) []Neighbor {
+	return ix.SearchBatched(q, k, ef, 1, eng, rec)
+}
+
+// SearchBatched is Search with delayed synchronization: up to batch
+// candidates are popped from the search set per hop and their unvisited
+// neighbors offloaded as one comparison batch. Batching reduces the number
+// of host/NDP synchronization points per query (the technique of
+// delayed-synchronization traversal, which the paper cites) at a small cost
+// in extra comparisons. batch=1 is the textbook greedy beam search.
+func (ix *Index) SearchBatched(q []float32, k, ef, batch int, eng engine.Engine, rec *trace.Query) []Neighbor {
+	return ix.SearchFiltered(q, k, ef, batch, nil, eng, rec)
+}
+
+// SearchFiltered adds attribute filtering (hybrid search, §8): only ids
+// passing the filter enter the result set, while traversal still crosses
+// non-matching vertices so graph connectivity is preserved. A nil filter
+// accepts everything. Distance comparisons — the part ANSMET accelerates —
+// are unchanged; note that with a filter the rejection thresholds derive
+// from matching results only, so they tighten more slowly.
+func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query) []Neighbor {
+	if ef < k {
+		ef = k
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if filter == nil {
+		filter = func(uint32) bool { return true }
+	}
+	eng.StartQuery(q)
+
+	// Entry comparison (threshold ∞: always accepted, full fetch).
+	entryRes := eng.Compare(ix.entry, math.Inf(1))
+	rec.AddHop(trace.Hop{
+		Level:   ix.maxLevel,
+		Tasks:   []trace.Task{{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes}},
+		HostOps: 2,
+	})
+	cur := ix.entry
+	curDist := entryRes.Dist
+
+	// Greedy descent through the upper layers.
+	for l := ix.maxLevel; l >= 1; l-- {
+		for {
+			nbs := ix.neighborsAt(cur, l)
+			if len(nbs) == 0 {
+				break
+			}
+			hop := trace.Hop{Level: l, HostOps: 1 + len(nbs)}
+			improved := false
+			for _, nb := range nbs {
+				res := eng.Compare(nb, curDist)
+				hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: curDist, Result: res})
+				if res.Accepted && res.Dist < curDist {
+					cur, curDist = nb, res.Dist
+					improved = true
+				}
+			}
+			rec.AddHop(hop)
+			if !improved {
+				break
+			}
+		}
+	}
+
+	// Beam search on the base layer.
+	visited := newBitset(len(ix.vectors))
+	visited.testAndSet(cur)
+	// Mark upper-layer visits too so they are not re-fetched; the entry
+	// point was already compared.
+	visited.testAndSet(ix.entry)
+
+	cand := &nheap{}
+	results := &nheap{max: true}
+	start := Neighbor{ID: cur, Dist: curDist}
+	cand.Push(start)
+	if filter(start.ID) {
+		results.Push(start)
+	}
+
+	for cand.Len() > 0 {
+		// Pop up to `batch` candidates. If the very first pop is already
+		// beyond the result set's worst distance the search has converged;
+		// later pops beyond it are merely discarded (they would never be
+		// expanded by the sequential algorithm either).
+		var ids []uint32
+		converged := false
+		for popped := 0; popped < batch && cand.Len() > 0; popped++ {
+			c := cand.Pop()
+			if results.Len() >= ef && c.Dist > results.Top().Dist {
+				if popped == 0 {
+					converged = true
+				}
+				break
+			}
+			for _, nb := range ix.neighborsAt(c.ID, 0) {
+				if !visited.testAndSet(nb) {
+					ids = append(ids, nb)
+				}
+			}
+		}
+		if converged {
+			break
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		threshold := math.Inf(1)
+		if results.Len() >= ef {
+			threshold = results.Top().Dist
+		}
+		hop := trace.Hop{Level: 0, HostOps: 2 + 2*len(ids)}
+		for _, nb := range ids {
+			res := eng.Compare(nb, threshold)
+			hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: threshold, Result: res})
+			if res.Accepted {
+				n := Neighbor{ID: nb, Dist: res.Dist}
+				cand.Push(n)
+				if filter(nb) {
+					results.Push(n)
+					if results.Len() > ef {
+						results.Pop()
+					}
+				}
+			}
+		}
+		rec.AddHop(hop)
+	}
+
+	out := make([]Neighbor, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = results.Pop()
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	if rec != nil {
+		rec.ResultIDs = make([]uint32, len(out))
+		for i, n := range out {
+			rec.ResultIDs[i] = n.ID
+		}
+	}
+	return out
+}
+
+// Stats summarizes the built graph.
+type Stats struct {
+	Nodes     int
+	MaxLevel  int
+	Entry     uint32
+	AvgDegree float64 // base layer
+	LevelPop  []int   // nodes whose level >= index position
+}
+
+// Stats returns structural statistics of the graph.
+func (ix *Index) Stats() Stats {
+	s := Stats{Nodes: len(ix.vectors), MaxLevel: ix.maxLevel, Entry: ix.entry}
+	s.LevelPop = make([]int, ix.maxLevel+1)
+	deg := 0
+	for i := range ix.vectors {
+		deg += len(ix.neighbors[i][0])
+		for l := 0; l <= ix.levels[i] && l <= ix.maxLevel; l++ {
+			s.LevelPop[l]++
+		}
+	}
+	s.AvgDegree = float64(deg) / float64(len(ix.vectors))
+	return s
+}
+
+// TopLayerIDs returns the ids of all nodes whose level is within the top
+// `layers` layers of the graph — the index-structure hint the paper uses to
+// pick hot vectors for replication (§5.3).
+func (ix *Index) TopLayerIDs(layers int) []uint32 {
+	min := ix.maxLevel - layers + 1
+	if min < 0 {
+		min = 0
+	}
+	var out []uint32
+	for i, l := range ix.levels {
+		if l >= min {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// MaxLevel returns the top layer index.
+func (ix *Index) MaxLevel() int { return ix.maxLevel }
+
+// Entry returns the fixed entry point.
+func (ix *Index) Entry() uint32 { return ix.entry }
+
+// Level returns the level of node id.
+func (ix *Index) Level(id uint32) int { return ix.levels[id] }
+
+// Neighbors exposes the adjacency list of id at the given level (read-only).
+func (ix *Index) Neighbors(id uint32, level int) []uint32 {
+	return ix.neighborsAt(id, level)
+}
+
+// Size returns the number of indexed vectors.
+func (ix *Index) Size() int { return len(ix.vectors) }

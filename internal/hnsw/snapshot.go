@@ -1,0 +1,62 @@
+package hnsw
+
+import (
+	"fmt"
+
+	"ansmet/internal/vecmath"
+)
+
+// Snapshot is the serializable form of a built index (the graph topology
+// and construction parameters; vector data is stored by the caller).
+type Snapshot struct {
+	Cfg       Config
+	Metric    vecmath.Metric
+	Levels    []int
+	Neighbors [][][]uint32
+	Entry     uint32
+	MaxLevel  int
+}
+
+// Snapshot exports the index state.
+func (ix *Index) Snapshot() *Snapshot {
+	return &Snapshot{
+		Cfg:       ix.cfg,
+		Metric:    ix.metric,
+		Levels:    ix.levels,
+		Neighbors: ix.neighbors,
+		Entry:     ix.entry,
+		MaxLevel:  ix.maxLevel,
+	}
+}
+
+// FromSnapshot reconstructs an index over the given vectors. The vectors
+// must be the exact population the snapshot was built from.
+func FromSnapshot(vectors [][]float32, s *Snapshot) (*Index, error) {
+	if len(vectors) != len(s.Levels) || len(vectors) != len(s.Neighbors) {
+		return nil, fmt.Errorf("hnsw: snapshot covers %d nodes, vectors %d", len(s.Levels), len(vectors))
+	}
+	if int(s.Entry) >= len(vectors) {
+		return nil, fmt.Errorf("hnsw: snapshot entry %d out of range", s.Entry)
+	}
+	for i, nbs := range s.Neighbors {
+		if len(nbs) != s.Levels[i]+1 {
+			return nil, fmt.Errorf("hnsw: node %d has %d levels, expected %d", i, len(nbs), s.Levels[i]+1)
+		}
+		for l, lst := range nbs {
+			for _, nb := range lst {
+				if int(nb) >= len(vectors) {
+					return nil, fmt.Errorf("hnsw: node %d level %d has edge to %d (out of range)", i, l, nb)
+				}
+			}
+		}
+	}
+	return &Index{
+		cfg:       s.Cfg,
+		metric:    s.Metric,
+		vectors:   vectors,
+		levels:    s.Levels,
+		neighbors: s.Neighbors,
+		entry:     s.Entry,
+		maxLevel:  s.MaxLevel,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package hnsw
+
+import (
+	"testing"
+
+	"ansmet/internal/dataset"
+	"ansmet/internal/engine"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 400, 5, 61)
+	ix, err := Build(ds.Vectors, p.Metric, Config{M: 8, MaxDegree: 16, EfConstruction: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Snapshot()
+	back, err := FromSnapshot(ds.Vectors, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewExact(ds.Vectors, p.Metric, p.Elem)
+	for _, q := range ds.Queries {
+		a := ix.Search(q, 10, 50, eng, nil)
+		b := back.Search(q, 10, 50, eng, nil)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("snapshot search diverges: %+v vs %+v", a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 100, 0, 61)
+	ix, _ := Build(ds.Vectors, p.Metric, Config{M: 8, MaxDegree: 16, EfConstruction: 40, Seed: 1})
+	snap := ix.Snapshot()
+
+	if _, err := FromSnapshot(ds.Vectors[:50], snap); err == nil {
+		t.Error("mismatched vector count should fail")
+	}
+	bad := *snap
+	bad.Entry = 1000
+	if _, err := FromSnapshot(ds.Vectors, &bad); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+	// Corrupt an edge.
+	bad2 := *snap
+	bad2.Neighbors = make([][][]uint32, len(snap.Neighbors))
+	copy(bad2.Neighbors, snap.Neighbors)
+	lvl := make([][]uint32, len(snap.Neighbors[0]))
+	copy(lvl, snap.Neighbors[0])
+	lvl[0] = append(append([]uint32{}, lvl[0]...), 9999)
+	bad2.Neighbors[0] = lvl
+	if _, err := FromSnapshot(ds.Vectors, &bad2); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}

@@ -1,0 +1,207 @@
+// Package ivf implements the inverted-file (IVF) cluster index, the
+// representative cluster-based ANNS index of the paper (§2.1, Fig. 1).
+// Vectors are clustered with Lloyd's k-means; a query scans the nprobe
+// closest clusters, routing member comparisons through an engine.Engine
+// with the same per-batch threshold snapshotting as HNSW.
+package ivf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ansmet/internal/engine"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/kmeans"
+	"ansmet/internal/trace"
+	"ansmet/internal/vecmath"
+)
+
+// Config holds clustering parameters.
+type Config struct {
+	// NumClusters is the number of inverted lists (k-means centroids).
+	NumClusters int
+	// MaxIters bounds Lloyd iterations.
+	MaxIters int
+	// Seed drives centroid initialization.
+	Seed uint64
+}
+
+// DefaultConfig uses sqrt(N) clusters at build time via Build's adjustment.
+func DefaultConfig() Config { return Config{NumClusters: 0, MaxIters: 15, Seed: 1} }
+
+// Index is a built IVF index.
+type Index struct {
+	metric    vecmath.Metric
+	vectors   [][]float32
+	centroids [][]float32
+	lists     [][]uint32
+}
+
+// Build clusters the vectors. A zero NumClusters defaults to ~sqrt(N).
+func Build(vectors [][]float32, metric vecmath.Metric, cfg Config) (*Index, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("ivf: empty dataset")
+	}
+	k := cfg.NumClusters
+	if k <= 0 {
+		k = int(math.Sqrt(float64(n)))
+		if k < 1 {
+			k = 1
+		}
+	}
+	if k > n {
+		k = n
+	}
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 15
+	}
+	km, err := kmeans.Run(vectors, kmeans.Config{K: k, MaxIters: iters, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	centroids, assign := km.Centroids, km.Assign
+
+	lists := make([][]uint32, k)
+	for i := range vectors {
+		lists[assign[i]] = append(lists[assign[i]], uint32(i))
+	}
+	return &Index{metric: metric, vectors: vectors, centroids: centroids, lists: lists}, nil
+}
+
+// NumClusters returns the inverted-list count.
+func (ix *Index) NumClusters() int { return len(ix.lists) }
+
+// ListSizes returns the size of every inverted list (for imbalance stats).
+func (ix *Index) ListSizes() []int {
+	out := make([]int, len(ix.lists))
+	for i, l := range ix.lists {
+		out[i] = len(l)
+	}
+	return out
+}
+
+// Centroids exposes the cluster centroids (read-only) — the hot vectors the
+// paper replicates for IVF (§5.3).
+func (ix *Index) Centroids() [][]float32 { return ix.centroids }
+
+// List exposes the member ids of cluster c (read-only).
+func (ix *Index) List(c int) []uint32 { return ix.lists[c] }
+
+// Search scans the nprobe closest clusters for the k nearest neighbors
+// with beam width ef, recording per-cluster comparison batches into rec.
+// Centroid scoring is host-side work (centroids are small and cache
+// resident), charged as HostOps in a tasks-free hop.
+func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *trace.Query) []hnsw.Neighbor {
+	if ef < k {
+		ef = k
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.lists) {
+		nprobe = len(ix.lists)
+	}
+	eng.StartQuery(q)
+
+	// Rank clusters by centroid distance (L2 geometry, host side).
+	type cd struct {
+		c int
+		d float64
+	}
+	order := make([]cd, len(ix.centroids))
+	for c, ctr := range ix.centroids {
+		order[c] = cd{c, vecmath.L2.Distance(q, ctr)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].d != order[j].d {
+			return order[i].d < order[j].d
+		}
+		return order[i].c < order[j].c
+	})
+	rec.AddHop(trace.Hop{Level: -1, HostOps: 2 * len(ix.centroids)})
+
+	results := &maxHeap{}
+	for p := 0; p < nprobe; p++ {
+		members := ix.lists[order[p].c]
+		if len(members) == 0 {
+			continue
+		}
+		threshold := math.Inf(1)
+		if results.Len() >= ef {
+			threshold = results.Top().Dist
+		}
+		hop := trace.Hop{Level: -1, HostOps: 1 + 2*len(members)}
+		for _, id := range members {
+			res := eng.Compare(id, threshold)
+			hop.Tasks = append(hop.Tasks, trace.Task{ID: id, Threshold: threshold, Result: res})
+			if res.Accepted {
+				results.Push(hnsw.Neighbor{ID: id, Dist: res.Dist})
+				if results.Len() > ef {
+					results.Pop()
+				}
+			}
+		}
+		rec.AddHop(hop)
+	}
+
+	out := make([]hnsw.Neighbor, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = results.Pop()
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	if rec != nil {
+		rec.ResultIDs = make([]uint32, len(out))
+		for i, n := range out {
+			rec.ResultIDs[i] = n.ID
+		}
+	}
+	return out
+}
+
+// maxHeap is a max-heap of neighbors by distance.
+type maxHeap struct{ items []hnsw.Neighbor }
+
+func (h *maxHeap) Len() int           { return len(h.items) }
+func (h *maxHeap) Top() hnsw.Neighbor { return h.items[0] }
+
+func (h *maxHeap) Push(n hnsw.Neighbor) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[i].Dist <= h.items[p].Dist {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) Pop() hnsw.Neighbor {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.items[l].Dist > h.items[best].Dist {
+			best = l
+		}
+		if r < last && h.items[r].Dist > h.items[best].Dist {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}

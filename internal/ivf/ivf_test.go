@@ -1,0 +1,155 @@
+package ivf
+
+import (
+	"testing"
+
+	"ansmet/internal/dataset"
+	"ansmet/internal/engine"
+	"ansmet/internal/trace"
+	"ansmet/internal/vecmath"
+)
+
+func buildIVF(t *testing.T, name string, n, k int) (*dataset.Dataset, *Index) {
+	t.Helper()
+	p := dataset.ProfileByName(name)
+	ds := dataset.Generate(p, n, 20, 7)
+	ix, err := Build(ds.Vectors, p.Metric, Config{NumClusters: k, MaxIters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ix
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, vecmath.L2, DefaultConfig()); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	_, ix := buildIVF(t, "SIFT", 600, 20)
+	if ix.NumClusters() != 20 {
+		t.Fatalf("clusters = %d", ix.NumClusters())
+	}
+	seen := make(map[uint32]bool)
+	total := 0
+	for c := 0; c < ix.NumClusters(); c++ {
+		for _, id := range ix.List(c) {
+			if seen[id] {
+				t.Fatalf("vector %d in multiple lists", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != 600 {
+		t.Fatalf("lists cover %d vectors, want 600", total)
+	}
+}
+
+func TestDefaultClusterCount(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 400, 0, 7)
+	ix, err := Build(ds.Vectors, p.Metric, Config{MaxIters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumClusters() != 20 { // sqrt(400)
+		t.Errorf("default clusters = %d, want 20", ix.NumClusters())
+	}
+}
+
+func TestKMeansReducesSpread(t *testing.T) {
+	// Members should be closer to their own centroid than to the average
+	// centroid distance.
+	ds, ix := buildIVF(t, "DEEP", 500, 16)
+	own, other := 0.0, 0.0
+	count := 0
+	for c := 0; c < ix.NumClusters(); c++ {
+		for _, id := range ix.List(c) {
+			own += vecmath.L2.Distance(ds.Vectors[id], ix.Centroids()[c])
+			o := (c + 1) % ix.NumClusters()
+			other += vecmath.L2.Distance(ds.Vectors[id], ix.Centroids()[o])
+			count++
+		}
+	}
+	if own >= other {
+		t.Errorf("own-centroid distance %v >= other-centroid %v", own/float64(count), other/float64(count))
+	}
+}
+
+func TestSearchRecall(t *testing.T) {
+	ds, ix := buildIVF(t, "SIFT", 1000, 32)
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	gt := ds.GroundTruth(10)
+	sum := 0.0
+	for qi, q := range ds.Queries {
+		res := ix.Search(q, 10, 10, 8, eng, nil)
+		got := make([]uint32, len(res))
+		for i, n := range res {
+			got[i] = n.ID
+		}
+		sum += dataset.RecallAtK(got, gt[qi])
+	}
+	if recall := sum / float64(len(ds.Queries)); recall < 0.8 {
+		t.Errorf("IVF recall@10 with nprobe=8 = %v, want >= 0.8", recall)
+	}
+}
+
+func TestSearchNprobeMonotone(t *testing.T) {
+	// More probes can only improve (or preserve) recall.
+	ds, ix := buildIVF(t, "SPACEV", 800, 25)
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	gt := ds.GroundTruth(10)
+	recallAt := func(nprobe int) float64 {
+		sum := 0.0
+		for qi, q := range ds.Queries {
+			res := ix.Search(q, 10, 10, nprobe, eng, nil)
+			got := make([]uint32, len(res))
+			for i, n := range res {
+				got[i] = n.ID
+			}
+			sum += dataset.RecallAtK(got, gt[qi])
+		}
+		return sum / float64(len(ds.Queries))
+	}
+	r1, r4, rAll := recallAt(1), recallAt(4), recallAt(25)
+	if r4 < r1-0.05 || rAll < r4-0.05 {
+		t.Errorf("recall not improving with nprobe: %v %v %v", r1, r4, rAll)
+	}
+	if rAll < 0.99 {
+		t.Errorf("scanning all clusters should be near-exact, got %v", rAll)
+	}
+}
+
+func TestSearchTrace(t *testing.T) {
+	ds, ix := buildIVF(t, "SIFT", 500, 16)
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	var rec trace.Query
+	res := ix.Search(ds.Queries[0], 5, 5, 4, eng, &rec)
+	if len(rec.Hops) < 2 {
+		t.Fatalf("expected centroid hop + probe hops, got %d", len(rec.Hops))
+	}
+	if len(rec.Hops[0].Tasks) != 0 {
+		t.Error("centroid hop should carry no comparison tasks")
+	}
+	if rec.TotalTasks() == 0 {
+		t.Error("no comparison tasks recorded")
+	}
+	if len(rec.ResultIDs) != len(res) {
+		t.Error("trace results mismatch")
+	}
+}
+
+func TestSearchClampsNprobe(t *testing.T) {
+	ds, ix := buildIVF(t, "SIFT", 100, 8)
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	res := ix.Search(ds.Queries[0], 5, 5, 1000, eng, nil)
+	if len(res) != 5 {
+		t.Errorf("oversized nprobe returned %d results", len(res))
+	}
+	res = ix.Search(ds.Queries[0], 5, 5, 0, eng, nil)
+	if len(res) == 0 {
+		t.Error("nprobe=0 should clamp to 1 and return results")
+	}
+}

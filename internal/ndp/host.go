@@ -1,0 +1,88 @@
+package ndp
+
+import (
+	"fmt"
+	"math"
+
+	"ansmet/internal/engine"
+	"ansmet/internal/vecmath"
+)
+
+// HostAdapter drives an NDP Unit purely through the DDR instruction
+// protocol and exposes it as an engine.Engine, so a whole index search can
+// run over the hardware interface. It models the host side of §5.2:
+// allocate a QSHR, install the query with set-query WRITEs, issue
+// set-search tasks, poll for results, and free the QSHR.
+//
+// Rejected comparisons come back as the invalid MAX register value; the
+// hardware does not return their lower bounds, so the adapter reports +Inf
+// as the (unused) distance of rejections.
+type HostAdapter struct {
+	unit *Unit
+	cfg  Config
+
+	qshr      int
+	installed bool
+	query     []float32
+}
+
+// NewHostAdapter wraps a configured unit.
+func NewHostAdapter(unit *Unit, cfg Config) (*HostAdapter, error) {
+	if !unit.cfgOK {
+		return nil, fmt.Errorf("ndp: adapter over unconfigured unit")
+	}
+	return &HostAdapter{unit: unit, cfg: cfg}, nil
+}
+
+var _ engine.Engine = (*HostAdapter)(nil)
+
+// StartQuery implements engine.Engine: the query installs lazily on the
+// first comparison (mirroring the set-search-before-set-query optimization).
+func (h *HostAdapter) StartQuery(q []float32) {
+	h.query = q
+	h.installed = false
+	h.unit.Free(h.qshr)
+	h.qshr = (h.qshr + 1) % NumQSHRs
+}
+
+// Compare implements engine.Engine via one set-search + poll round trip.
+func (h *HostAdapter) Compare(id uint32, threshold float64) engine.Result {
+	payload, cnt, err := EncodeSetSearch([]Task{{Addr: id, Threshold: float32(threshold)}})
+	if err != nil {
+		panic(err)
+	}
+	if err := h.unit.SetSearch(h.qshr, cnt, payload); err != nil {
+		panic(err)
+	}
+	if !h.installed {
+		chunks, err := EncodeQueryChunks(h.cfg.Elem, h.query)
+		if err != nil {
+			panic(err)
+		}
+		for seq, c := range chunks {
+			if err := h.unit.SetQuery(h.qshr, seq, c); err != nil {
+				panic(err)
+			}
+		}
+		h.installed = true
+	}
+	resp, err := h.unit.Poll(h.qshr)
+	if err != nil {
+		panic(err)
+	}
+	// set-search resets the fetch counter, so it reads as this task's cost.
+	lines := int(resp.FetchCnt)
+	if resp.Dist[0] == InvalidDist {
+		return engine.Result{Dist: math.Inf(1), Lines: lines, LinesLocal: lines}
+	}
+	return engine.Result{
+		Dist: float64(resp.Dist[0]), Accepted: true,
+		Lines: lines, LinesLocal: lines,
+	}
+}
+
+// LinesPerVector implements engine.Engine.
+func (h *HostAdapter) LinesPerVector() int { return h.unit.layout.LinesPerVector() }
+
+// Metric implements engine.Engine.
+func (h *HostAdapter) Metric() vecmath.Metric { return h.cfg.Metric }

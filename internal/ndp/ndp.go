@@ -1,0 +1,260 @@
+// Package ndp models the DIMM-side NDP unit's hardware interface (paper
+// §5.2, Fig. 5): the four DDR-encoded instructions — configure, set-query,
+// set-search and poll — and a functional query-status-handling-register
+// (QSHR) unit that executes comparison tasks against its rank's transformed
+// vector data with early termination.
+//
+// The timing of NDP execution lives in internal/sim; this package is the
+// *functional* hardware-interface layer: field packing into the 64 B DDR
+// payloads exactly as Fig. 5(e) sketches, QSHR state (query data, an array
+// of 8 comparison tasks with thresholds, result registers initialized to an
+// invalid MAX value, fetch counters), and the fetch/bound/terminate loop.
+// Its results are bit-compatible with the software ETEngine
+// (internal/core), which the tests verify.
+package ndp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/vecmath"
+)
+
+// NumQSHRs is the per-unit QSHR count (Table 1).
+const NumQSHRs = 32
+
+// TasksPerQSHR is the comparison-task array length of one QSHR (Fig. 5(c)).
+const TasksPerQSHR = 8
+
+// InvalidDist is the initialization value of result registers ("an invalid
+// MAX value", §5.2).
+const InvalidDist = math.MaxFloat32
+
+// Opcode identifies the NDP instruction encoded in a reserved DDR address.
+type Opcode uint8
+
+const (
+	OpConfigure Opcode = iota
+	OpSetQuery
+	OpSetSearch
+	OpPoll
+)
+
+// Config is the payload of the configure instruction: element type, vector
+// dimension, distance metric and the early-termination parameters
+// (including the on-chip common prefix).
+type Config struct {
+	Elem       vecmath.ElemType
+	Dim        uint16
+	Metric     vecmath.Metric
+	PrefixLen  uint8
+	PrefixVal  uint32
+	Nc, Tc, Nf uint8
+}
+
+// EncodeConfigure packs the configure payload into a 64 B DDR WRITE.
+func EncodeConfigure(c Config) [64]byte {
+	var p [64]byte
+	p[0] = byte(c.Elem)
+	p[1] = byte(c.Metric)
+	binary.LittleEndian.PutUint16(p[2:], c.Dim)
+	p[4] = c.PrefixLen
+	binary.LittleEndian.PutUint32(p[5:], c.PrefixVal)
+	p[9], p[10], p[11] = c.Nc, c.Tc, c.Nf
+	return p
+}
+
+// DecodeConfigure unpacks a configure payload.
+func DecodeConfigure(p [64]byte) Config {
+	return Config{
+		Elem:      vecmath.ElemType(p[0]),
+		Metric:    vecmath.Metric(p[1]),
+		Dim:       binary.LittleEndian.Uint16(p[2:]),
+		PrefixLen: p[4],
+		PrefixVal: binary.LittleEndian.Uint32(p[5:]),
+		Nc:        p[9], Tc: p[10], Nf: p[11],
+	}
+}
+
+// Schedule materializes the configured fetch schedule.
+func (c Config) Schedule() bitplane.Schedule {
+	if c.Nc == 0 {
+		return bitplane.PlainSchedule(c.Elem)
+	}
+	return bitplane.DualSchedule(c.Elem, int(c.PrefixLen), int(c.Nc), int(c.Tc), int(c.Nf))
+}
+
+// Task is one comparison task of a set-search instruction: the search
+// vector's address and the rejection threshold (4 B each, Fig. 5(e)).
+type Task struct {
+	Addr      uint32
+	Threshold float32
+}
+
+// EncodeSetSearch packs up to 8 tasks into one 64 B DDR WRITE (8 B per
+// task: 4 B vector address + 4 B threshold, filling the payload exactly as
+// Fig. 5(e) shows). The task count travels in the instruction's DDR address
+// alongside the QSHR id, and is returned for the caller to encode there.
+func EncodeSetSearch(tasks []Task) (payload [64]byte, count int, err error) {
+	if len(tasks) == 0 || len(tasks) > TasksPerQSHR {
+		return payload, 0, fmt.Errorf("ndp: %d tasks, want 1..%d", len(tasks), TasksPerQSHR)
+	}
+	for i, t := range tasks {
+		binary.LittleEndian.PutUint32(payload[i*8:], t.Addr)
+		binary.LittleEndian.PutUint32(payload[i*8+4:], math.Float32bits(t.Threshold))
+	}
+	return payload, len(tasks), nil
+}
+
+// DecodeSetSearch unpacks a set-search payload carrying n tasks.
+func DecodeSetSearch(p [64]byte, n int) []Task {
+	if n > TasksPerQSHR {
+		n = TasksPerQSHR
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{
+			Addr:      binary.LittleEndian.Uint32(p[i*8:]),
+			Threshold: math.Float32frombits(binary.LittleEndian.Uint32(p[i*8+4:])),
+		}
+	}
+	return out
+}
+
+// EncodeQueryChunks serializes a query vector into the sequence of 64 B
+// set-query payloads (up to 16 per §5.2: the QSHR query field is 1 kB).
+// Elements are stored in the element type's native width, little-endian.
+func EncodeQueryChunks(elem vecmath.ElemType, q []float32) ([][64]byte, error) {
+	bytesPer := elem.Bytes()
+	total := len(q) * bytesPer
+	if total > 1024 {
+		return nil, fmt.Errorf("ndp: query of %d B exceeds the 1 kB QSHR field", total)
+	}
+	raw := make([]byte, (total+63)/64*64)
+	for d, v := range q {
+		code := elem.Encode(v)
+		bits := nativeBits(elem, code)
+		switch bytesPer {
+		case 1:
+			raw[d] = byte(bits)
+		case 2:
+			binary.LittleEndian.PutUint16(raw[d*2:], uint16(bits))
+		case 4:
+			binary.LittleEndian.PutUint32(raw[d*4:], bits)
+		}
+	}
+	out := make([][64]byte, len(raw)/64)
+	for i := range out {
+		copy(out[i][:], raw[i*64:])
+	}
+	return out, nil
+}
+
+// DecodeQuery reconstructs the query values from accumulated chunks.
+func DecodeQuery(elem vecmath.ElemType, dim int, chunks [][64]byte) ([]float32, error) {
+	bytesPer := elem.Bytes()
+	need := (dim*bytesPer + 63) / 64
+	if len(chunks) < need {
+		return nil, fmt.Errorf("ndp: query needs %d chunks, have %d", need, len(chunks))
+	}
+	raw := make([]byte, len(chunks)*64)
+	for i, c := range chunks {
+		copy(raw[i*64:], c[:])
+	}
+	out := make([]float32, dim)
+	for d := range out {
+		var bits uint32
+		switch bytesPer {
+		case 1:
+			bits = uint32(raw[d])
+		case 2:
+			bits = uint32(binary.LittleEndian.Uint16(raw[d*2:]))
+		case 4:
+			bits = binary.LittleEndian.Uint32(raw[d*4:])
+		}
+		out[d] = float32(elem.Decode(nativeCode(elem, bits)))
+	}
+	return out, nil
+}
+
+// nativeBits converts an order-preserving code back to the element's native
+// bit pattern (what travels on the wire).
+func nativeBits(elem vecmath.ElemType, code uint32) uint32 {
+	switch elem {
+	case vecmath.Uint8:
+		return code
+	case vecmath.Int8:
+		return code ^ 0x80
+	case vecmath.Float16, vecmath.BFloat16:
+		if code&0x8000 != 0 {
+			return code &^ 0x8000
+		}
+		return (^code) & 0xffff
+	default: // Float32
+		if code&0x80000000 != 0 {
+			return code &^ 0x80000000
+		}
+		return ^code
+	}
+}
+
+// nativeCode converts native wire bits to the order-preserving code.
+func nativeCode(elem vecmath.ElemType, bits uint32) uint32 {
+	switch elem {
+	case vecmath.Uint8:
+		return bits
+	case vecmath.Int8:
+		return bits ^ 0x80
+	case vecmath.Float16, vecmath.BFloat16:
+		if bits&0x8000 != 0 {
+			return (^bits) & 0xffff
+		}
+		return bits | 0x8000
+	default:
+		if bits&0x80000000 != 0 {
+			return ^bits
+		}
+		return bits | 0x80000000
+	}
+}
+
+// PollResponse is the 64 B payload returned by a poll READ: the eight
+// result registers (fp32 distances; InvalidDist while pending or rejected-
+// invalid) plus a done bitmap and the fetch counter (Fig. 5(c)).
+type PollResponse struct {
+	Dist      [TasksPerQSHR]float32
+	DoneMask  uint8
+	FetchCnt  uint16
+	Completed bool
+}
+
+// Encode packs the response payload.
+func (r PollResponse) Encode() [64]byte {
+	var p [64]byte
+	for i, d := range r.Dist {
+		binary.LittleEndian.PutUint32(p[i*4:], math.Float32bits(d))
+	}
+	p[32] = r.DoneMask
+	binary.LittleEndian.PutUint16(p[33:], r.FetchCnt)
+	if r.Completed {
+		p[35] = 1
+	}
+	return p
+}
+
+// DecodePollResponse unpacks a poll payload.
+func DecodePollResponse(p [64]byte) PollResponse {
+	var r PollResponse
+	for i := range r.Dist {
+		r.Dist[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	r.DoneMask = p[32]
+	r.FetchCnt = binary.LittleEndian.Uint16(p[33:])
+	r.Completed = p[35] == 1
+	return r
+}

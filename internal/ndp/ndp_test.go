@@ -1,0 +1,263 @@
+package ndp
+
+import (
+	"math"
+	"testing"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/core"
+	"ansmet/internal/dataset"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/prefixelim"
+	"ansmet/internal/stats"
+	"ansmet/internal/vecmath"
+)
+
+func TestConfigureRoundTrip(t *testing.T) {
+	c := Config{
+		Elem: vecmath.Float32, Dim: 960, Metric: vecmath.L2,
+		PrefixLen: 6, PrefixVal: 0x2f, Nc: 9, Tc: 1, Nf: 2,
+	}
+	got := DecodeConfigure(EncodeConfigure(c))
+	if got != c {
+		t.Fatalf("configure round trip: %+v != %+v", got, c)
+	}
+	sched := got.Schedule()
+	if err := sched.Validate(vecmath.Float32); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+}
+
+func TestSetSearchRoundTrip(t *testing.T) {
+	tasks := []Task{{Addr: 7, Threshold: 1.5}, {Addr: 123456, Threshold: -2.25}, {Addr: 3, Threshold: 0}}
+	p, n, err := EncodeSetSearch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeSetSearch(p, n)
+	if len(got) != len(tasks) {
+		t.Fatalf("%d tasks, want %d", len(got), len(tasks))
+	}
+	for i := range tasks {
+		if got[i] != tasks[i] {
+			t.Fatalf("task %d: %+v != %+v", i, got[i], tasks[i])
+		}
+	}
+	if _, _, err := EncodeSetSearch(nil); err == nil {
+		t.Error("empty set-search should fail")
+	}
+	if _, _, err := EncodeSetSearch(make([]Task, 9)); err == nil {
+		t.Error("9 tasks should fail")
+	}
+}
+
+func TestQueryChunksRoundTrip(t *testing.T) {
+	r := stats.NewRNG(3)
+	for _, elem := range []vecmath.ElemType{vecmath.Uint8, vecmath.Int8, vecmath.Float16, vecmath.BFloat16, vecmath.Float32} {
+		dim := 100
+		q := make([]float32, dim)
+		for d := range q {
+			switch elem {
+			case vecmath.Uint8:
+				q[d] = float32(r.Intn(256))
+			case vecmath.Int8:
+				q[d] = float32(r.Intn(256) - 128)
+			default:
+				q[d] = elem.Quantize(float32(r.NormFloat64()))
+			}
+		}
+		chunks, err := EncodeQueryChunks(elem, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeQuery(elem, dim, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range q {
+			if back[d] != q[d] {
+				t.Fatalf("%v: query[%d] %v -> %v", elem, d, q[d], back[d])
+			}
+		}
+	}
+	// 1 kB QSHR limit.
+	if _, err := EncodeQueryChunks(vecmath.Float32, make([]float32, 300)); err == nil {
+		t.Error("oversized query should fail")
+	}
+}
+
+func TestPollResponseRoundTrip(t *testing.T) {
+	r := PollResponse{DoneMask: 0xA5, FetchCnt: 777, Completed: true}
+	for i := range r.Dist {
+		r.Dist[i] = float32(i) * 1.25
+	}
+	got := DecodePollResponse(r.Encode())
+	if got != r {
+		t.Fatalf("poll round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestNativeBitsRoundTrip(t *testing.T) {
+	r := stats.NewRNG(5)
+	for _, elem := range []vecmath.ElemType{vecmath.Uint8, vecmath.Int8, vecmath.Float16, vecmath.BFloat16, vecmath.Float32} {
+		w := uint(elem.Bits())
+		for i := 0; i < 2000; i++ {
+			code := uint32(r.Uint64()) & (1<<w - 1)
+			if got := nativeCode(elem, nativeBits(elem, code)); got != code {
+				t.Fatalf("%v: code %#x -> %#x", elem, code, got)
+			}
+		}
+	}
+}
+
+// TestUnitMatchesETEngine is the hardware-interface validation: driving a
+// Unit purely through DDR-encoded instructions produces the same decisions
+// and distances as the software ETEngine.
+func TestUnitMatchesETEngine(t *testing.T) {
+	p := dataset.ProfileByName("DEEP")
+	ds := dataset.Generate(p, 300, 6, 17)
+	sched := bitplane.DualSchedule(p.Elem, 0, 8, 1, 4)
+	st, err := core.BuildStore(ds.Vectors, p.Elem, sched, prefixelim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := st.NewETEngine(p.Metric)
+
+	// Mirror the transformed bytes into the rank slab.
+	l := st.Layout
+	slab := make([]byte, len(ds.Vectors)*l.VectorBytes())
+	var codes []uint32
+	for i, v := range ds.Vectors {
+		codes = p.Elem.EncodeVector(v, codes[:0])
+		l.Transform(codes, slab[i*l.VectorBytes():(i+1)*l.VectorBytes()])
+	}
+	u := NewUnit(SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
+	if err := u.Configure(EncodeConfigure(Config{
+		Elem: p.Elem, Dim: uint16(p.Dim), Metric: p.Metric,
+		Nc: 8, Tc: 1, Nf: 4,
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := stats.NewRNG(23)
+	for qi, q := range ds.Queries {
+		eng.StartQuery(q)
+		chunks, err := EncodeQueryChunks(p.Elem, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := qi % NumQSHRs
+
+		// Build a batch of tasks with float32-exact thresholds.
+		var tasks []Task
+		for len(tasks) < TasksPerQSHR {
+			addr := uint32(rng.Intn(len(ds.Vectors)))
+			th := float32(p.Metric.Distance(q, ds.Vectors[rng.Intn(len(ds.Vectors))]))
+			tasks = append(tasks, Task{Addr: addr, Threshold: th})
+		}
+		sp, cnt, err := EncodeSetSearch(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's ordering optimization: set-search first, then query.
+		if err := u.SetSearch(id, cnt, sp); err != nil {
+			t.Fatal(err)
+		}
+		for seq, c := range chunks {
+			if err := u.SetQuery(id, seq, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := u.Poll(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Completed || resp.DoneMask != 0xFF {
+			t.Fatalf("QSHR not completed: %+v", resp)
+		}
+		totalLines := 0
+		for ti, task := range tasks {
+			ref := eng.Compare(task.Addr, float64(task.Threshold))
+			totalLines += ref.Lines
+			if ref.Accepted {
+				if math.Abs(float64(resp.Dist[ti])-ref.Dist) > 1e-5*math.Max(1, math.Abs(ref.Dist)) {
+					t.Fatalf("q%d task %d: unit dist %v, engine %v", qi, ti, resp.Dist[ti], ref.Dist)
+				}
+			} else if resp.Dist[ti] != InvalidDist {
+				t.Fatalf("q%d task %d: rejected task has result %v", qi, ti, resp.Dist[ti])
+			}
+		}
+		if int(resp.FetchCnt) != totalLines {
+			t.Fatalf("q%d: unit fetched %d lines, engine %d", qi, resp.FetchCnt, totalLines)
+		}
+		u.Free(id)
+	}
+}
+
+func TestUnitErrors(t *testing.T) {
+	u := NewUnit(SliceRank{})
+	if err := u.SetQuery(0, 0, [64]byte{}); err == nil {
+		t.Error("set-query before configure should fail")
+	}
+	if err := u.SetSearch(0, 1, [64]byte{}); err == nil {
+		t.Error("set-search before configure should fail")
+	}
+	if err := u.Configure(EncodeConfigure(Config{Elem: vecmath.Uint8})); err == nil {
+		t.Error("zero-dim configure should fail")
+	}
+	if err := u.Configure(EncodeConfigure(Config{Elem: vecmath.Uint8, Dim: 8, Nc: 4, Tc: 2, Nf: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SetSearch(99, 1, [64]byte{}); err == nil {
+		t.Error("out-of-range QSHR should fail")
+	}
+	if _, err := u.Poll(-1); err == nil {
+		t.Error("out-of-range poll should fail")
+	}
+}
+
+// TestHostAdapterFullSearch runs complete HNSW searches purely over the DDR
+// instruction protocol and checks they match the software engine's results.
+func TestHostAdapterFullSearch(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 500, 6, 29)
+	ix, err := hnsw.Build(ds.Vectors, p.Metric, hnsw.Config{M: 8, MaxDegree: 16, EfConstruction: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := bitplane.UniformSchedule(p.Elem, 0, 4)
+	st, err := core.BuildStore(ds.Vectors, p.Elem, sched, prefixelim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := st.NewETEngine(p.Metric)
+
+	l := st.Layout
+	slab := make([]byte, len(ds.Vectors)*l.VectorBytes())
+	var codes []uint32
+	for i, v := range ds.Vectors {
+		codes = p.Elem.EncodeVector(v, codes[:0])
+		l.Transform(codes, slab[i*l.VectorBytes():(i+1)*l.VectorBytes()])
+	}
+	cfg := Config{Elem: p.Elem, Dim: uint16(p.Dim), Metric: p.Metric, Nc: 4, Tc: 2, Nf: 4}
+	u := NewUnit(SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
+	if err := u.Configure(EncodeConfigure(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NewHostAdapter(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		want := ix.Search(q, 10, 50, ref, nil)
+		got := ix.Search(q, 10, 50, hw, nil)
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j].ID != want[j].ID || math.Abs(got[j].Dist-want[j].Dist) > 1e-4 {
+				t.Fatalf("result %d: hw %+v != sw %+v", j, got[j], want[j])
+			}
+		}
+	}
+}

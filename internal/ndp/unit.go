@@ -1,0 +1,172 @@
+package ndp
+
+import (
+	"fmt"
+
+	"ansmet/internal/bitplane"
+)
+
+// RankData provides the unit's view of its local DRAM rank: the transformed
+// vector bytes by vector address.
+type RankData interface {
+	// VectorData returns the full transformed bytes of the vector at addr.
+	VectorData(addr uint32) []byte
+}
+
+// qshr is one query-status handling register set (Fig. 5(c)).
+type qshr struct {
+	chunks   [][64]byte
+	query    []float32
+	tasks    []Task
+	results  [TasksPerQSHR]float32
+	doneMask uint8
+	fetchCnt uint16
+	haveQ    bool
+	haveS    bool
+	done     bool
+}
+
+// Unit is a functional NDP unit: it consumes DDR-encoded instructions and
+// executes comparison tasks against its rank's data. It is deterministic
+// and single-threaded, mirroring the sequential per-QSHR task processing of
+// §5.2.
+type Unit struct {
+	data RankData
+
+	cfg     Config
+	layout  *bitplane.Layout
+	bounder *bitplane.Bounder
+	qshrs   [NumQSHRs]qshr
+	cfgOK   bool
+}
+
+// NewUnit creates a unit over its rank's data.
+func NewUnit(data RankData) *Unit { return &Unit{data: data} }
+
+// Configure applies a configure instruction.
+func (u *Unit) Configure(payload [64]byte) error {
+	c := DecodeConfigure(payload)
+	if c.Dim == 0 {
+		return fmt.Errorf("ndp: configure with zero dimension")
+	}
+	sched := c.Schedule()
+	l, err := bitplane.NewLayout(c.Elem, int(c.Dim), sched)
+	if err != nil {
+		return fmt.Errorf("ndp: configure: %w", err)
+	}
+	u.cfg = c
+	u.layout = l
+	u.bounder = bitplane.NewBounder(l, c.Metric, c.PrefixVal)
+	u.cfgOK = true
+	for i := range u.qshrs {
+		u.qshrs[i] = qshr{}
+	}
+	return nil
+}
+
+// SetQuery applies one set-query chunk (seq is the chunk index encoded in
+// the DDR address, §5.2). The last chunk (seq == total-1) finalizes the
+// query; tasks waiting in the QSHR then execute.
+func (u *Unit) SetQuery(id, seq int, payload [64]byte) error {
+	if !u.cfgOK {
+		return fmt.Errorf("ndp: set-query before configure")
+	}
+	if id < 0 || id >= NumQSHRs {
+		return fmt.Errorf("ndp: QSHR id %d out of range", id)
+	}
+	q := &u.qshrs[id]
+	for len(q.chunks) <= seq {
+		q.chunks = append(q.chunks, [64]byte{})
+	}
+	q.chunks[seq] = payload
+	need := (int(u.cfg.Dim)*u.cfg.Elem.Bytes() + 63) / 64
+	if len(q.chunks) >= need {
+		query, err := DecodeQuery(u.cfg.Elem, int(u.cfg.Dim), q.chunks)
+		if err != nil {
+			return err
+		}
+		q.query = query
+		q.haveQ = true
+		u.maybeRun(q)
+	}
+	return nil
+}
+
+// SetSearch applies a set-search instruction: up to 8 comparison tasks for
+// one QSHR (count comes from the DDR address encoding). Per the paper's
+// optimization, set-search may arrive before set-query; the QSHR starts
+// once both are present.
+func (u *Unit) SetSearch(id, count int, payload [64]byte) error {
+	if !u.cfgOK {
+		return fmt.Errorf("ndp: set-search before configure")
+	}
+	if id < 0 || id >= NumQSHRs {
+		return fmt.Errorf("ndp: QSHR id %d out of range", id)
+	}
+	q := &u.qshrs[id]
+	q.tasks = DecodeSetSearch(payload, count)
+	q.haveS = true
+	q.done = false
+	q.doneMask = 0
+	q.fetchCnt = 0
+	for i := range q.results {
+		q.results[i] = InvalidDist
+	}
+	u.maybeRun(q)
+	return nil
+}
+
+// maybeRun executes the QSHR's tasks once both query and tasks are present.
+func (u *Unit) maybeRun(q *qshr) {
+	if !q.haveQ || !q.haveS || q.done {
+		return
+	}
+	u.bounder.ResetQuery(q.query)
+	for ti, task := range q.tasks {
+		data := u.data.VectorData(task.Addr)
+		u.bounder.Reset()
+		lb, lines := u.bounder.RunET(data, float64(task.Threshold))
+		q.fetchCnt += uint16(lines)
+		full := u.layout.LinesPerVector()
+		if lines == full && lb <= float64(task.Threshold) {
+			// Within threshold: write the exact distance to the result
+			// register (§5.2); rejections leave the invalid MAX value.
+			q.results[ti] = float32(lb)
+		}
+		q.doneMask |= 1 << uint(ti)
+	}
+	q.done = true
+}
+
+// Poll returns the QSHR's result registers (a DDR READ in hardware).
+func (u *Unit) Poll(id int) (PollResponse, error) {
+	if id < 0 || id >= NumQSHRs {
+		return PollResponse{}, fmt.Errorf("ndp: QSHR id %d out of range", id)
+	}
+	q := &u.qshrs[id]
+	r := PollResponse{DoneMask: q.doneMask, FetchCnt: q.fetchCnt, Completed: q.done}
+	copy(r.Dist[:], q.results[:])
+	return r, nil
+}
+
+// Free releases a QSHR for reuse (the host's responsibility, §5.2).
+func (u *Unit) Free(id int) {
+	if id >= 0 && id < NumQSHRs {
+		u.qshrs[id] = qshr{}
+	}
+}
+
+// SliceRank is a simple RankData over a contiguous slab of equally sized
+// transformed vectors (addr = vector index).
+type SliceRank struct {
+	Bytes       []byte
+	VectorBytes int
+}
+
+// VectorData implements RankData.
+func (s SliceRank) VectorData(addr uint32) []byte {
+	off := int(addr) * s.VectorBytes
+	return s.Bytes[off : off+s.VectorBytes]
+}
+
+var _ RankData = SliceRank{}

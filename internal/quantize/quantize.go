@@ -1,0 +1,372 @@
+// Package quantize implements the vector-quantization schemes the paper
+// positions ANSMET against and discusses compatibility with (§2.1, §4.3):
+//
+//   - scalar quantization (SQ): elements mapped to uint8 by an affine
+//     transform. With a global (shared) scale the transform is
+//     order-preserving per dimension, so the quantized vectors drop
+//     directly into the existing bit-plane early-termination store as
+//     Uint8 data;
+//   - product quantization (PQ): the vector space is split into M
+//     subspaces, each with its own k-means codebook; a vector is stored as
+//     M one-byte codewords, and query distances are assembled from
+//     memoized per-subspace tables (ADC). Partial *bits* of codewords are
+//     meaningless, but partial *elements* still give a sound lower bound
+//     (§4.3): summing the fetched subspaces' memoized distances and
+//     bounding the rest conservatively.
+package quantize
+
+import (
+	"fmt"
+	"math"
+
+	"ansmet/internal/kmeans"
+	"ansmet/internal/stats"
+	"ansmet/internal/vecmath"
+)
+
+// Scalar is an affine uint8 quantizer. With Global=true one (lo, hi) range
+// covers every dimension, which preserves L2 ordering exactly up to the
+// rounding error; per-dimension ranges give lower reconstruction error but
+// distort the metric.
+type Scalar struct {
+	Global bool
+	Lo, Hi []float32 // length 1 when Global
+}
+
+// FitScalar learns the quantization range from the data.
+func FitScalar(vectors [][]float32, global bool) (*Scalar, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("quantize: empty dataset")
+	}
+	dim := len(vectors[0])
+	n := dim
+	if global {
+		n = 1
+	}
+	s := &Scalar{Global: global, Lo: make([]float32, n), Hi: make([]float32, n)}
+	for i := range s.Lo {
+		s.Lo[i] = math.MaxFloat32
+		s.Hi[i] = -math.MaxFloat32
+	}
+	for _, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("quantize: ragged dataset")
+		}
+		for d, x := range v {
+			i := 0
+			if !global {
+				i = d
+			}
+			if x < s.Lo[i] {
+				s.Lo[i] = x
+			}
+			if x > s.Hi[i] {
+				s.Hi[i] = x
+			}
+		}
+	}
+	for i := range s.Lo {
+		if s.Hi[i] <= s.Lo[i] {
+			s.Hi[i] = s.Lo[i] + 1
+		}
+	}
+	return s, nil
+}
+
+func (s *Scalar) rng(d int) (float32, float32) {
+	if s.Global {
+		return s.Lo[0], s.Hi[0]
+	}
+	return s.Lo[d], s.Hi[d]
+}
+
+// Quantize maps a vector to its uint8 code values (stored as float32 so
+// they plug directly into the Uint8 element codec).
+func (s *Scalar) Quantize(v []float32) []float32 {
+	out := make([]float32, len(v))
+	for d, x := range v {
+		lo, hi := s.rng(d)
+		c := math.RoundToEven(float64((x - lo) / (hi - lo) * 255))
+		if c < 0 {
+			c = 0
+		}
+		if c > 255 {
+			c = 255
+		}
+		out[d] = float32(c)
+	}
+	return out
+}
+
+// Dequantize reconstructs the approximate original values.
+func (s *Scalar) Dequantize(q []float32) []float32 {
+	out := make([]float32, len(q))
+	for d, c := range q {
+		lo, hi := s.rng(d)
+		out[d] = lo + c/255*(hi-lo)
+	}
+	return out
+}
+
+// StepSize returns the quantization step of dimension d (the max
+// per-element reconstruction error is half of it).
+func (s *Scalar) StepSize(d int) float64 {
+	lo, hi := s.rng(d)
+	return float64(hi-lo) / 255
+}
+
+// PQ is a product quantizer: M subspaces × K centroids.
+type PQ struct {
+	M, K   int
+	SubDim int
+	// Codebooks[m][k] is the k-th centroid of subspace m.
+	Codebooks [][][]float32
+}
+
+// FitPQ learns the codebooks with per-subspace Lloyd k-means. dim must be
+// divisible by m; k is at most 256 (one byte per codeword).
+func FitPQ(vectors [][]float32, m, k, iters int, seed uint64) (*PQ, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("quantize: empty dataset")
+	}
+	dim := len(vectors[0])
+	if m <= 0 || dim%m != 0 {
+		return nil, fmt.Errorf("quantize: dim %d not divisible by m=%d", dim, m)
+	}
+	if k <= 0 || k > 256 {
+		return nil, fmt.Errorf("quantize: k=%d out of (0,256]", k)
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+	p := &PQ{M: m, K: k, SubDim: dim / m, Codebooks: make([][][]float32, m)}
+	rng := stats.NewRNG(seed)
+	for sub := 0; sub < m; sub++ {
+		km, err := kmeans.Run(vectors, kmeans.Config{
+			K: k, MaxIters: iters, Seed: rng.Uint64(),
+			Offset: sub * p.SubDim, SubDim: p.SubDim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Codebooks[sub] = km.Centroids
+	}
+	return p, nil
+}
+
+func sqDist(a, b []float32) float64 {
+	s := 0.0
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Encode maps a vector to its M codewords.
+func (p *PQ) Encode(v []float32) []uint8 {
+	if len(v) != p.M*p.SubDim {
+		panic(fmt.Sprintf("quantize: vector dim %d, want %d", len(v), p.M*p.SubDim))
+	}
+	out := make([]uint8, p.M)
+	for m := 0; m < p.M; m++ {
+		sub := v[m*p.SubDim : (m+1)*p.SubDim]
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range p.Codebooks[m] {
+			d := sqDist(sub, c)
+			if d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		out[m] = uint8(best)
+	}
+	return out
+}
+
+// Decode reconstructs the centroid approximation of a code.
+func (p *PQ) Decode(code []uint8) []float32 {
+	out := make([]float32, 0, p.M*p.SubDim)
+	for m, c := range code {
+		out = append(out, p.Codebooks[m][c]...)
+	}
+	return out
+}
+
+// Table memoizes the per-subspace contribution of every codeword against
+// the query (the ADC table of §2.1): squared sub-distances for L2, negated
+// sub-inner-products for IP.
+type Table struct {
+	Metric vecmath.Metric
+	// Cells[m][k] is subspace m / codeword k's contribution.
+	Cells [][]float64
+	// MinCell[m] is the smallest contribution in subspace m — the sound
+	// per-subspace bound for unfetched codewords (for L2 it is >= 0; for
+	// IP it can be negative, which is exactly why partial-dimension bounds
+	// are weak there).
+	MinCell []float64
+}
+
+// NewTable builds the ADC table for one query.
+func (p *PQ) NewTable(q []float32, metric vecmath.Metric) *Table {
+	t := &Table{Metric: metric, Cells: make([][]float64, p.M), MinCell: make([]float64, p.M)}
+	for m := 0; m < p.M; m++ {
+		sub := q[m*p.SubDim : (m+1)*p.SubDim]
+		cells := make([]float64, len(p.Codebooks[m]))
+		min := math.Inf(1)
+		for ci, c := range p.Codebooks[m] {
+			var v float64
+			switch metric {
+			case vecmath.L2:
+				v = sqDist(sub, c)
+			default:
+				s := 0.0
+				for i := range sub {
+					s += float64(sub[i]) * float64(c[i])
+				}
+				v = -s
+			}
+			cells[ci] = v
+			if v < min {
+				min = v
+			}
+		}
+		t.Cells[m] = cells
+		t.MinCell[m] = min
+	}
+	return t
+}
+
+// Distance computes the full ADC distance of a code.
+func (t *Table) Distance(code []uint8) float64 {
+	s := 0.0
+	for m, c := range code {
+		s += t.Cells[m][c]
+	}
+	if t.Metric == vecmath.L2 {
+		return math.Sqrt(s)
+	}
+	return s
+}
+
+// LowerBound returns a sound lower bound on the ADC distance using only the
+// first `fetched` codewords (§4.3: "look up a subset of the memorized
+// subspace distances for the partial elements and aggregate them").
+// Unfetched subspaces contribute their minimal table cell.
+func (t *Table) LowerBound(code []uint8, fetched int) float64 {
+	s := 0.0
+	for m := 0; m < fetched; m++ {
+		s += t.Cells[m][code[m]]
+	}
+	for m := fetched; m < len(t.Cells); m++ {
+		s += t.MinCell[m]
+	}
+	if t.Metric == vecmath.L2 {
+		return math.Sqrt(s)
+	}
+	return s
+}
+
+// ETScan runs an exact top-k scan over PQ codes (in ADC distance) with
+// partial-element early termination: codewords of each vector are fetched
+// subspace by subspace and the scan moves on as soon as the lower bound
+// beats the running k-th best. Returns the neighbors, the codewords
+// actually fetched, and the total codewords a full scan would read.
+func (t *Table) ETScan(codes [][]uint8, k int) (ids []uint32, dists []float64, fetched, total int) {
+	type cand struct {
+		id uint32
+		d  float64
+	}
+	var heap []cand // max-heap by (d, id)
+	less := func(a, b cand) bool {
+		if a.d != b.d {
+			return a.d > b.d
+		}
+		return a.id > b.id
+	}
+	push := func(c cand) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() cand {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < last && less(heap[l], heap[best]) {
+				best = l
+			}
+			if r < last && less(heap[r], heap[best]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+		return top
+	}
+
+	m := len(t.Cells)
+	for vi, code := range codes {
+		total += m
+		threshold := math.Inf(1)
+		if len(heap) >= k {
+			threshold = heap[0].d
+		}
+		// Start from the all-unfetched bound and refine subspace by
+		// subspace.
+		s := 0.0
+		for sub := 0; sub < m; sub++ {
+			s += t.MinCell[sub]
+		}
+		rejected := false
+		for sub := 0; sub < m; sub++ {
+			s += t.Cells[sub][code[sub]] - t.MinCell[sub]
+			fetched++
+			lb := s
+			if t.Metric == vecmath.L2 {
+				lb = math.Sqrt(math.Max(s, 0))
+			}
+			if lb > threshold {
+				rejected = true
+				break
+			}
+		}
+		if rejected {
+			continue
+		}
+		d := s
+		if t.Metric == vecmath.L2 {
+			d = math.Sqrt(math.Max(s, 0))
+		}
+		if d <= threshold {
+			push(cand{uint32(vi), d})
+			if len(heap) > k {
+				pop()
+			}
+		}
+	}
+	ids = make([]uint32, len(heap))
+	dists = make([]float64, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		c := pop()
+		ids[i], dists[i] = c.id, c.d
+	}
+	return ids, dists, fetched, total
+}

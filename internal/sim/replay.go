@@ -1,0 +1,523 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"ansmet/internal/dram"
+	"ansmet/internal/polling"
+	"ansmet/internal/trace"
+)
+
+// Run replays the query traces against the configured design and returns
+// the timing report. Queries are admitted in order with a bounded in-flight
+// window and advanced one hop at a time in global time order, so the
+// reservation-based resources interleave concurrent queries realistically.
+// The replay is deterministic.
+func Run(cfg Config, traces []*trace.Query) *Report {
+	if cfg.Part == nil {
+		panic("sim: Config.Part is required")
+	}
+	if len(cfg.GroupLines) == 0 {
+		cfg.GroupLines = []int{cfg.Part.LinesPerVector()}
+	}
+	if cfg.QueryLines <= 0 {
+		cfg.QueryLines = 1
+	}
+	s := newState(cfg)
+	window := cfg.maxInFlight()
+
+	type qstate struct {
+		qi       int
+		hop      int
+		post     bool // NDP: hop dispatched, host post-phase pending
+		t, start float64
+		hasQuery map[int]bool // NDP units holding this query's QSHR
+	}
+	s.rep.QueryLatencyNs = make([]float64, len(traces))
+	var active []*qstate
+	next := 0
+	admit := func(at float64) {
+		for len(active) < window && next < len(traces) {
+			active = append(active, &qstate{qi: next, t: at, start: at, hasQuery: map[int]bool{}})
+			next++
+		}
+	}
+	admit(0)
+	for len(active) > 0 {
+		// Advance the query whose next hop starts earliest.
+		best := 0
+		for i := 1; i < len(active); i++ {
+			if active[i].t < active[best].t {
+				best = i
+			}
+		}
+		qs := active[best]
+		tr := traces[qs.qi]
+		if qs.hop >= len(tr.Hops) {
+			s.rep.QueryLatencyNs[qs.qi] = qs.t - qs.start
+			if qs.t > s.rep.MakespanNs {
+				s.rep.MakespanNs = qs.t
+			}
+			active[best] = active[len(active)-1]
+			active = active[:len(active)-1]
+			admit(qs.t)
+			continue
+		}
+		hop := tr.Hops[qs.hop]
+		switch {
+		case !cfg.UseNDP:
+			qs.t = s.runCPUHop(qs.t, hop)
+			qs.hop++
+		case qs.post:
+			// Host-side result handling runs as its own scheduler event so
+			// core acquisitions happen in global time order.
+			qs.t = s.runHostPost(qs.t, hop)
+			qs.post = false
+			qs.hop++
+		default:
+			qs.t = s.runNDPDispatch(qs.t, hop, qs.hasQuery)
+			qs.post = true
+		}
+	}
+	s.rep.Mem = s.mem.Stats()
+	return s.rep
+}
+
+type state struct {
+	cfg      Config
+	mem      *dram.Memory
+	coreFree []float64
+	unitFree []float64
+	rep      *Report
+}
+
+func newState(cfg Config) *state {
+	mem := dram.New(cfg.Mem)
+	s := &state{
+		cfg:      cfg,
+		mem:      mem,
+		coreFree: make([]float64, cfg.Host.Cores),
+		unitFree: make([]float64, cfg.Mem.Ranks()),
+		rep:      &Report{RankTaskLines: make([]uint64, cfg.Mem.Ranks())},
+	}
+	return s
+}
+
+// acquireCore returns the earliest-available core and its start time >= t.
+func (s *state) acquireCore(t float64) (idx int, start float64) {
+	idx = 0
+	for i := 1; i < len(s.coreFree); i++ {
+		if s.coreFree[i] < s.coreFree[idx] {
+			idx = i
+		}
+	}
+	start = t
+	if s.coreFree[idx] > start {
+		start = s.coreFree[idx]
+	}
+	return idx, start
+}
+
+func (s *state) releaseCore(idx int, from, to float64) {
+	s.coreFree[idx] = to
+	s.rep.CoreBusyNs += to - from
+}
+
+// chOf returns the channel of a rank.
+func (s *state) chOf(rank int) int { return s.mem.ChannelOf(rank) }
+
+// ---------------------------------------------------------------------------
+// CPU designs: the query owns one core; every vector line is fetched over
+// the channel DQ bus. Fetches within one schedule group are pipelined;
+// groups serialize at the ET decision points.
+// ---------------------------------------------------------------------------
+
+// runCPUHop models an out-of-order core with software prefetching (as in
+// FAISS): candidate addresses of a whole hop are known up front, so the
+// first fetch group of every task is issued as one stream at hop start and
+// the channel buses pace them. Later groups of a task are the early-
+// termination decision points — each is gated on the completion and check
+// of the task's previous group, which is exactly the serialization penalty
+// ET pays on a CPU (the paper calls its CPU-ET numbers "optimistic" for
+// assuming dedicated bound-check logic; the per-group check cost models
+// that logic).
+func (s *state) runCPUHop(at float64, hop trace.Hop) float64 {
+	cfg := s.cfg
+	part := cfg.Part
+	core, t := s.acquireCore(at)
+	hopStart := t
+	hopEnd := t
+	// comp tracks the completion times of the hop's issued reads; a read
+	// may only issue once fewer than MLP earlier reads are outstanding.
+	mlp := cfg.Host.MLP
+	if mlp <= 0 {
+		mlp = 10
+	}
+	var comp []float64
+	issue := func(gate float64) float64 {
+		if len(comp) >= mlp {
+			if c := comp[len(comp)-mlp]; c > gate {
+				return c
+			}
+		}
+		return gate
+	}
+	// Tasks advance group-major: group 0 of every task streams first (its
+	// addresses are known up front), then each task's group g gates on its
+	// own group g-1 check. This keeps the MLP window in issue-time order —
+	// iterating task-major would falsely gate task k's first fetches on
+	// task k-1's last ones.
+	type tstate struct {
+		group     int
+		line      int
+		remaining int
+		gate      float64
+	}
+	states := make([]tstate, len(hop.Tasks))
+	for ti, task := range hop.Tasks {
+		states[ti] = tstate{remaining: task.Result.Lines, gate: t}
+		s.countLines(task)
+	}
+	for g := 0; g < len(cfg.GroupLines); g++ {
+		for ti := range hop.Tasks {
+			st := &states[ti]
+			if st.remaining == 0 {
+				continue
+			}
+			task := hop.Tasks[ti]
+			group := part.GroupOf(task.ID)
+			n := cfg.GroupLines[g]
+			if n > st.remaining {
+				n = st.remaining
+			}
+			groupEnd := st.gate
+			for i := 0; i < n; i++ {
+				seg, off := part.Locate(st.line)
+				a := part.Addr(task.ID, group, seg, off)
+				done := s.mem.Read(issue(st.gate), a, false)
+				comp = append(comp, done)
+				if done > groupEnd {
+					groupEnd = done
+				}
+				s.rep.RankTaskLines[a.Rank]++
+				st.line++
+			}
+			st.gate = groupEnd + cfg.Host.GroupCheckNs
+			st.remaining -= n
+		}
+	}
+	for ti := range hop.Tasks {
+		st := &states[ti]
+		task := hop.Tasks[ti]
+		// Backup re-check lines (full-precision copy) issue after the
+		// in-bound decision.
+		if task.Result.BackupLines > 0 {
+			group := part.GroupOf(task.ID)
+			bkEnd := st.gate
+			for i := 0; i < task.Result.BackupLines; i++ {
+				a := s.backupAddr(task.ID, group, i)
+				done := s.mem.Read(issue(st.gate), a, false)
+				comp = append(comp, done)
+				if done > bkEnd {
+					bkEnd = done
+				}
+				s.rep.RankTaskLines[a.Rank]++
+			}
+			st.gate = bkEnd
+		}
+		retire := st.gate + cfg.Host.TaskFixedNs
+		if retire > hopEnd {
+			hopEnd = retire
+		}
+	}
+	s.rep.DistCompNs += hopEnd - hopStart
+	hostDur := float64(hop.HostOps) * cfg.Host.OpNs
+	end := hopEnd + hostDur
+	s.rep.TraversalNs += hostDur
+	s.releaseCore(core, hopStart, end)
+	return end
+}
+
+// ---------------------------------------------------------------------------
+// NDP designs: the host traverses the index, offloads comparison batches to
+// the DIMM-side units via DDR WRITEs, and polls for results; the units
+// fetch over their rank-internal buses and early-terminate locally.
+// ---------------------------------------------------------------------------
+
+// subtask is one (task, segment) unit of NDP work.
+type subtask struct {
+	taskIdx int
+	seg     int
+	lines   int
+	backup  int // backup lines, charged to segment 0's unit
+	id      uint32
+	group   int
+}
+
+// runNDPDispatch executes the offload, NDP processing and polling of one
+// hop, returning the time the results are in host hands; the host-side
+// bookkeeping runs separately via runHostPost.
+func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) float64 {
+	cfg := s.cfg
+	part := cfg.Part
+	if len(hop.Tasks) == 0 {
+		return t
+	}
+
+	// Assign each task to a rank group; replicated vectors go to the
+	// least-loaded group (the §5.3 load-balancing trick).
+	byUnit := make(map[int][]subtask)
+	unitTasks := make(map[int]int)
+	taskDone := make([]float64, len(hop.Tasks))
+	hopLoad := make(map[int]int) // tentative per-group lines this hop
+	for ti, task := range hop.Tasks {
+		group := part.GroupOf(task.ID)
+		if part.IsReplicated(task.ID) {
+			group = s.leastLoadedGroup(hopLoad)
+		}
+		hopLoad[group] += task.Result.Lines
+		full := task.Result.Accepted || task.Result.Lines >= part.LinesPerVector()
+		nfl := task.Result.LinesLocal
+		if nfl < task.Result.Lines {
+			nfl = task.Result.Lines
+		}
+		per := part.FetchedPerSegment(nfl, full)
+		for seg, n := range per {
+			if n == 0 && seg > 0 {
+				continue
+			}
+			st := subtask{taskIdx: ti, seg: seg, lines: n, id: task.ID, group: group}
+			if seg == 0 {
+				st.backup = task.Result.BackupLines
+			}
+			u := part.RankFor(group, seg)
+			byUnit[u] = append(byUnit[u], st)
+			unitTasks[u]++
+		}
+		s.countLines(task)
+	}
+
+	// Offload: the host issues set-query (once per unit per query) and
+	// set-search WRITEs over the channel buses.
+	units := make([]int, 0, len(byUnit))
+	for u := range byUnit {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	// Each unit holds one segment of the vectors, so it only needs the
+	// matching slice of the query (§5.3: long vectors are partitioned, and
+	// the QSHR query field holds one sub-vector).
+	// A set-query WRITE on a channel is seen by every DIMM buffer chip on
+	// that shared bus, so one install serves all the channel's units
+	// (rank-level multicast, as in TensorDIMM-style NDP designs).
+	qlines := (cfg.QueryLines + part.NumSegments() - 1) / part.NumSegments()
+	core, offStart := s.acquireCore(t)
+	s.rep.CoreWaitNs += offStart - t
+	// The host core only enqueues the instruction WRITEs to the memory
+	// controller (OpNs per write); the controller drains them while the
+	// core moves on. Only the per-channel DQ buses serialize the transfers,
+	// and channels proceed in parallel.
+	perCh := make(map[int]float64)
+	offloadEnd := offStart
+	writes := 0
+	chTime := func(ch int) float64 {
+		if tc, ok := perCh[ch]; ok {
+			return tc
+		}
+		return offStart
+	}
+	for _, u := range units {
+		ch := s.chOf(u)
+		if key := -(ch + 1); !hasQuery[key] {
+			hasQuery[key] = true
+			tc := chTime(ch)
+			for w := 0; w < qlines; w++ {
+				tc = s.mem.BusTransfer(tc, ch)
+			}
+			perCh[ch] = tc
+			writes += qlines
+		}
+		cmds := (unitTasks[u] + cfg.NDP.TasksPerSetSearch - 1) / cfg.NDP.TasksPerSetSearch
+		tc := chTime(ch)
+		for w := 0; w < cmds; w++ {
+			tc = s.mem.CommandTransfer(tc, ch)
+		}
+		perCh[ch] = tc
+		writes += cmds
+		if tc > offloadEnd {
+			offloadEnd = tc
+		}
+	}
+	s.releaseCore(core, offStart, offStart+float64(writes)*cfg.Host.OpNs)
+	s.rep.OffloadNs += offloadEnd - offStart
+
+	// Units process their subtasks with QSHR-level parallelism: batches
+	// from different queries overlap on a unit (§5.2: "different QSHRs can
+	// issue memory accesses in parallel"), with the rank's banks and
+	// internal-bus reservations serializing the real conflicts. unitFree
+	// tracks each unit's work horizon as the load signal for replica
+	// selection.
+	maxDone := offloadEnd
+	unitDone := make(map[int]float64)
+	backlog := make(map[int]float64)
+	for _, u := range units {
+		if f := s.unitFree[u]; f > offloadEnd {
+			// The host's estimate of this unit's outstanding work (its own
+			// previously offloaded batches) — feeds adaptive polling.
+			backlog[u] = f - offloadEnd
+		}
+		ut := s.runUnitBatch(u, offloadEnd, byUnit[u], taskDone)
+		s.rep.NDPBusyNs += ut - offloadEnd
+		if ut > s.unitFree[u] {
+			s.unitFree[u] = ut
+		}
+		unitDone[u] = ut
+		if ut > maxDone {
+			maxDone = ut
+		}
+	}
+	s.rep.DistCompNs += maxDone - offloadEnd
+
+	// Poll each unit for results.
+	hopEnd := maxDone
+	firstAccess := cfg.Mem.Timing.TRCD + cfg.Mem.Timing.TCL
+	for _, u := range units {
+		// The line distribution describes sequential (whole-vector) fetches;
+		// each unit serves one of NumSegments dimension slices of a task.
+		est := s.cfg.Est.Estimate(unitTasks[u],
+			s.perLineNs()/float64(part.NumSegments()),
+			cfg.NDP.TaskFixedNs+cfg.NDP.ComputePerLineNs, backlog[u]+firstAccess)
+		next := cfg.Poll.Schedule(offloadEnd, est)
+		at, polls := polling.RetrieveAt(next, unitDone[u], 1<<20)
+		s.rep.PollCount += uint64(polls)
+		last := at
+		// Charge bus occupancy for the polls nearest completion (a
+		// bounded number keeps deep-backlog replays tractable; earlier
+		// polls of a busy unit are counted but not individually timed).
+		charge := polls
+		if charge > 128 {
+			charge = 128
+		}
+		for i := polls - charge; i < polls; i++ {
+			done := s.mem.PollTransfer(next(i), s.chOf(u))
+			if done > last {
+				last = done
+			}
+		}
+		if last > hopEnd {
+			hopEnd = last
+		}
+	}
+	s.rep.CollectNs += hopEnd - maxDone
+	return hopEnd
+}
+
+// runHostPost is the host-side result handling of one NDP hop: traversal
+// ops plus partial-distance aggregation when vectors are segmented.
+func (s *state) runHostPost(t float64, hop trace.Hop) float64 {
+	cfg := s.cfg
+	hostDur := float64(hop.HostOps) * cfg.Host.OpNs
+	if n := cfg.Part.NumSegments(); n > 1 {
+		hostDur += float64(len(hop.Tasks)*(n-1)) * cfg.Host.AggOpNs
+	}
+	core, hs := s.acquireCore(t)
+	s.rep.CoreWaitNs += hs - t
+	s.releaseCore(core, hs, hs+hostDur)
+	s.rep.TraversalNs += hostDur
+	return hs + hostDur
+}
+
+// runUnitBatch services the subtasks offloaded to one unit. Fetches within
+// a task stream at bus pace (QSHRs keep the rank's banks and internal bus
+// saturated; the distance check pipelines behind the fetches, and early
+// termination cuts the stream at the functional line count). Backup
+// re-check reads issue only after the primary stream finishes — they
+// depend on the in-bound decision. The rank's bank and bus reservations
+// serialize concurrent chains, so unit throughput is bandwidth-limited.
+func (s *state) runUnitBatch(u int, startAt float64, tasks []subtask, taskDone []float64) float64 {
+	cfg := s.cfg
+	part := cfg.Part
+	end := startAt
+	for _, st := range tasks {
+		chainEnd := startAt
+		for i := 0; i < st.lines; i++ {
+			a := part.Addr(st.id, st.group, st.seg, i)
+			if done := s.mem.Read(startAt, a, true); done > chainEnd {
+				chainEnd = done
+			}
+			s.rep.RankTaskLines[a.Rank]++
+		}
+		if st.backup > 0 {
+			bkStart := chainEnd
+			for i := 0; i < st.backup; i++ {
+				a := s.backupAddr(st.id, st.group, i)
+				if done := s.mem.Read(bkStart, a, true); done > chainEnd {
+					chainEnd = done
+				}
+				s.rep.RankTaskLines[a.Rank]++
+			}
+		}
+		chainEnd += cfg.NDP.ComputePerLineNs + cfg.NDP.TaskFixedNs
+		if chainEnd > taskDone[st.taskIdx] {
+			taskDone[st.taskIdx] = chainEnd
+		}
+		if chainEnd > end {
+			end = chainEnd
+		}
+	}
+	return end
+}
+
+// perLineNs is the nominal per-line NDP service rate used by the polling
+// estimators: fetch chains stream at bus pace.
+func (s *state) perLineNs() float64 {
+	return s.cfg.Mem.Timing.TBL
+}
+
+// leastLoadedGroup picks the rank group whose units are free earliest,
+// also counting the lines already assigned to each group within the
+// current hop (so a batch of replicated tasks spreads instead of piling
+// onto one group).
+func (s *state) leastLoadedGroup(hopLoad map[int]int) int {
+	part := s.cfg.Part
+	lineNs := s.cfg.Mem.Timing.TBL
+	best, bestT := 0, math.Inf(1)
+	for g := 0; g < part.Groups(); g++ {
+		var worst float64
+		for seg := 0; seg < part.NumSegments(); seg++ {
+			if f := s.unitFree[part.RankFor(g, seg)]; f > worst {
+				worst = f
+			}
+		}
+		worst += float64(hopLoad[g]) * lineNs
+		if worst < bestT {
+			best, bestT = g, worst
+		}
+	}
+	return best
+}
+
+// backupAddr places the full-precision backup copy in the vector's home
+// rank at rows displaced by BackupRowOffset.
+func (s *state) backupAddr(id uint32, group, line int) dram.Addr {
+	a := s.cfg.Part.Addr(id, group, 0, 0)
+	off := s.cfg.BackupRowOffset
+	if off == 0 {
+		off = 1 << 20
+	}
+	a.Row = off + a.Row + int64(line/(s.cfg.Mem.RowBytes/64))
+	a.Bank = (a.Bank + 1) % s.cfg.Mem.BanksPerRank()
+	return a
+}
+
+// countLines attributes a task's fetched lines to the effectual or
+// ineffectual pool (Fig. 10).
+func (s *state) countLines(task trace.Task) {
+	n := uint64(task.Result.TotalLines())
+	if task.Result.Accepted {
+		s.rep.EffectualLines += n
+	} else {
+		s.rep.IneffectualLines += n
+	}
+}

@@ -1,0 +1,277 @@
+// Package stats provides small statistical utilities shared across the
+// ANSMET reproduction: deterministic pseudo-random number generation,
+// percentiles, histograms, KL divergence, and mean helpers.
+//
+// Everything here is dependency-free and deterministic so that experiments
+// are exactly reproducible from a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** variant). It is intentionally independent of math/rand so
+// that results are stable across Go releases.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed using splitmix64 expansion.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent generator; useful to give each subsystem its
+// own stream while keeping the whole experiment reproducible.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent alpha > 0
+// using inverse-CDF over precomputed weights. Build once, sample many.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf constructs a Zipf sampler over n items with the given exponent.
+func NewZipf(rng *RNG, alpha float64, n int) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of strictly positive xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// KLDivergence computes D_KL(p || q) over two discrete distributions given
+// as (possibly unnormalized) non-negative weight vectors of equal length.
+// Bins where p is zero contribute nothing. Bins where p > 0 but q == 0 are
+// smoothed with a tiny epsilon so the divergence stays finite, mirroring the
+// practical treatment in the paper's sampling-quality study (Fig. 11).
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stats: KLDivergence length mismatch %d vs %d", len(p), len(q)))
+	}
+	const eps = 1e-12
+	ps, qs := 0.0, 0.0
+	for i := range p {
+		ps += p[i]
+		qs += q[i]
+	}
+	if ps == 0 || qs == 0 {
+		return math.NaN()
+	}
+	d := 0.0
+	for i := range p {
+		pi := p[i] / ps
+		if pi == 0 {
+			continue
+		}
+		qi := q[i] / qs
+		if qi < eps {
+			qi = eps
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}
+
+// Histogram is a fixed-bin histogram over [min, max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []uint64
+	under    uint64
+	over     uint64
+	total    uint64
+}
+
+// NewHistogram creates a histogram with the given bin count over [min, max).
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Min {
+		h.under++
+		return
+	}
+	if x >= h.Max {
+		h.over++
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Normalized returns the in-range bin weights as probabilities summing to
+// the in-range fraction of all observations.
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Entropy computes the Shannon entropy (nats) of a discrete distribution
+// given as non-negative weights; zero weights contribute nothing.
+func Entropy(weights []float64) float64 {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, w := range weights {
+		if w == 0 {
+			continue
+		}
+		p := w / sum
+		e -= p * math.Log(p)
+	}
+	return e
+}

@@ -1,0 +1,90 @@
+// Package trace defines the query execution traces that connect the
+// functional phase (real index search with real early termination) to the
+// timing phase (event-driven replay on the CPU/NDP resource models). See
+// DESIGN.md, "Simulation methodology".
+package trace
+
+import "ansmet/internal/engine"
+
+// Task is one distance-comparison task: compare the query against vector ID
+// with the threshold captured at offload time (exactly the semantics of the
+// hardware set-search instruction, §5.2).
+type Task struct {
+	ID        uint32
+	Threshold float64
+	Result    engine.Result
+}
+
+// Hop is one dependent step of index traversal: the batch of comparison
+// tasks issued together (e.g. the unvisited neighbors of the vertex popped
+// from the search set). Hop h+1 cannot start before hop h's results return.
+type Hop struct {
+	// Level is the index layer (HNSW) or -1 for non-layered phases.
+	Level int
+	// Tasks are the comparisons issued in this hop.
+	Tasks []Task
+	// HostOps approximates the host-side bookkeeping work of the hop
+	// (heap pushes/pops, visited-set updates), in abstract op units.
+	HostOps int
+}
+
+// Query is the complete trace of one search.
+type Query struct {
+	Hops      []Hop
+	ResultIDs []uint32
+}
+
+// AddHop appends a hop; nil receivers are tolerated so tracing can be
+// switched off by passing a nil *Query.
+func (q *Query) AddHop(h Hop) {
+	if q == nil {
+		return
+	}
+	q.Hops = append(q.Hops, h)
+}
+
+// TotalTasks counts comparison tasks across all hops.
+func (q *Query) TotalTasks() int {
+	n := 0
+	for _, h := range q.Hops {
+		n += len(h.Tasks)
+	}
+	return n
+}
+
+// TotalLines counts all fetched 64 B lines (primary + backup).
+func (q *Query) TotalLines() int {
+	n := 0
+	for _, h := range q.Hops {
+		for _, t := range h.Tasks {
+			n += t.Result.TotalLines()
+		}
+	}
+	return n
+}
+
+// AcceptedTasks counts tasks whose vector passed the threshold.
+func (q *Query) AcceptedTasks() int {
+	n := 0
+	for _, h := range q.Hops {
+		for _, t := range h.Tasks {
+			if t.Result.Accepted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EarlyTerminated counts tasks that stopped before a full fetch.
+func (q *Query) EarlyTerminated(fullLines int) int {
+	n := 0
+	for _, h := range q.Hops {
+		for _, t := range h.Tasks {
+			if !t.Result.Accepted && t.Result.Lines < fullLines {
+				n++
+			}
+		}
+	}
+	return n
+}

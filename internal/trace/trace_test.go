@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"testing"
+
+	"ansmet/internal/engine"
+)
+
+func sample() *Query {
+	return &Query{
+		Hops: []Hop{
+			{Level: 2, HostOps: 4, Tasks: []Task{
+				{ID: 1, Threshold: 10, Result: engine.Result{Dist: 3, Accepted: true, Lines: 4, LinesLocal: 4}},
+			}},
+			{Level: 0, HostOps: 8, Tasks: []Task{
+				{ID: 2, Threshold: 5, Result: engine.Result{Dist: 7, Lines: 1, LinesLocal: 2}},
+				{ID: 3, Threshold: 5, Result: engine.Result{Dist: 4, Accepted: true, Lines: 4, BackupLines: 2}},
+			}},
+		},
+		ResultIDs: []uint32{1, 3},
+	}
+}
+
+func TestQueryCounters(t *testing.T) {
+	q := sample()
+	if got := q.TotalTasks(); got != 3 {
+		t.Errorf("TotalTasks = %d, want 3", got)
+	}
+	if got := q.TotalLines(); got != 4+1+4+2 {
+		t.Errorf("TotalLines = %d, want 11", got)
+	}
+	if got := q.AcceptedTasks(); got != 2 {
+		t.Errorf("AcceptedTasks = %d, want 2", got)
+	}
+	// fullLines=4: only the rejected 1-line task terminated early.
+	if got := q.EarlyTerminated(4); got != 1 {
+		t.Errorf("EarlyTerminated = %d, want 1", got)
+	}
+}
+
+func TestAddHopNilSafe(t *testing.T) {
+	var q *Query
+	q.AddHop(Hop{}) // must not panic
+	real := &Query{}
+	real.AddHop(Hop{Level: 1})
+	if len(real.Hops) != 1 {
+		t.Errorf("AddHop did not append")
+	}
+}

@@ -1,0 +1,85 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEncodeOrder fuzzes the order-preserving code invariant across every
+// element type: a <= b must imply Encode(a) <= Encode(b) (and codes must
+// round trip) for arbitrary float inputs after quantization.
+func FuzzEncodeOrder(f *testing.F) {
+	f.Add(float32(0), float32(1))
+	f.Add(float32(-1.5), float32(1.5))
+	f.Add(float32(1e-30), float32(-1e30))
+	f.Add(float32(255), float32(256))
+	f.Fuzz(func(t *testing.T, a, b float32) {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) ||
+			math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) {
+			t.Skip()
+		}
+		for _, et := range []ElemType{Uint8, Int8, Float16, BFloat16, Float32} {
+			qa, qb := et.Quantize(a), et.Quantize(b)
+			if math.IsInf(float64(qa), 0) || math.IsInf(float64(qb), 0) {
+				continue // fp16 overflow saturates to Inf; codes still order but skip
+			}
+			ca, cb := et.Encode(qa), et.Encode(qb)
+			switch {
+			case qa < qb:
+				if ca >= cb {
+					t.Fatalf("%v: %v < %v but codes %#x >= %#x", et, qa, qb, ca, cb)
+				}
+			case qa > qb:
+				if ca <= cb {
+					t.Fatalf("%v: %v > %v but codes %#x <= %#x", et, qa, qb, ca, cb)
+				}
+			}
+			if got := float32(et.Decode(ca)); got != qa && !(qa == 0 && got == 0) {
+				t.Fatalf("%v: decode(%#x) = %v, want %v", et, ca, got, qa)
+			}
+		}
+	})
+}
+
+// FuzzIntervalContains fuzzes the prefix-interval soundness: for any value
+// and any known-bit count, the interval contains the value.
+func FuzzIntervalContains(f *testing.F) {
+	f.Add(float32(1.25), uint8(7))
+	f.Add(float32(-3), uint8(0))
+	f.Add(float32(0), uint8(31))
+	f.Fuzz(func(t *testing.T, v float32, knownRaw uint8) {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Skip()
+		}
+		for _, et := range []ElemType{Uint8, Int8, Float16, BFloat16, Float32} {
+			q := et.Quantize(v)
+			if math.IsInf(float64(q), 0) {
+				continue
+			}
+			w := et.Bits()
+			known := int(knownRaw) % (w + 1)
+			code := et.Encode(q)
+			lo, hi := et.Interval(code>>uint(w-known), known)
+			if float64(q) < lo || float64(q) > hi {
+				t.Fatalf("%v: %v outside [%v,%v] with %d known bits", et, q, lo, hi, known)
+			}
+		}
+	})
+}
+
+// FuzzHalfRoundTrip fuzzes the binary16 conversion against the invariant
+// that conversion is idempotent and order-preserving on its image.
+func FuzzHalfRoundTrip(f *testing.F) {
+	f.Add(uint16(0x3c00))
+	f.Add(uint16(0x0001))
+	f.Add(uint16(0xfbff))
+	f.Fuzz(func(t *testing.T, h uint16) {
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 {
+			t.Skip() // NaN payloads
+		}
+		v := F16ToF32(h)
+		if got := F16FromF32(v); got != h {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, v, got)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package vecmath
+
+import "math"
+
+// F16FromF32 converts a float32 to IEEE-754 binary16 bits using
+// round-to-nearest-even, the default rounding mode of hardware converters.
+func F16FromF32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			// Preserve a quiet NaN with some payload.
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range
+		// 10-bit mantissa, round to nearest even on the dropped 13 bits.
+		out := uint32(exp+15)<<10 | mant>>13
+		round := mant & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && out&1 == 1) {
+			out++ // may carry into exponent; that is correct behaviour
+		}
+		return sign | uint16(out)
+	case exp >= -24: // subnormal range
+		// value = m * 2^(exp-23); half subnormal unit is 2^-24, so the
+		// mantissa is m >> (-exp-1) with round-to-nearest-even.
+		shift := uint32(-exp - 1) // 13 .. 23
+		m := mant | 0x800000      // implicit leading 1
+		out := m >> shift
+		rem := m & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && out&1 == 1) {
+			out++
+		}
+		return sign | uint16(out)
+	default: // underflow -> zero
+		return sign
+	}
+}
+
+// F16ToF32 converts IEEE-754 binary16 bits to float32.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7fc00000 | mant<<13)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0: // zero / subnormal
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Normalize the subnormal.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// BF16FromF32 converts a float32 to bfloat16 bits (top 16 bits of the
+// float32 representation) with round-to-nearest-even.
+func BF16FromF32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	if bits&0x7f800000 == 0x7f800000 && bits&0x7fffff != 0 {
+		// NaN: truncate but keep it NaN.
+		return uint16(bits>>16) | 0x0040
+	}
+	round := bits & 0xffff
+	out := bits >> 16
+	if round > 0x8000 || (round == 0x8000 && out&1 == 1) {
+		out++
+	}
+	return uint16(out)
+}
+
+// BF16ToF32 converts bfloat16 bits to float32 (exact).
+func BF16ToF32(b uint16) float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}

@@ -1,0 +1,141 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"ansmet/internal/stats"
+)
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{0.5, 0x3800},
+		{2, 0x4000},
+		{65504, 0x7bff},         // max normal
+		{5.9604645e-08, 0x0001}, // min subnormal
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := F16FromF32(c.f); got != c.bits {
+			t.Errorf("F16FromF32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := F16ToF32(c.bits); got != c.f {
+			t.Errorf("F16ToF32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestF16Overflow(t *testing.T) {
+	if F16FromF32(1e30) != 0x7c00 {
+		t.Error("large value should convert to +Inf")
+	}
+	if F16FromF32(-1e30) != 0xfc00 {
+		t.Error("large negative should convert to -Inf")
+	}
+	if F16FromF32(1e-30) != 0 {
+		t.Error("tiny value should flush to +0")
+	}
+}
+
+func TestF16NaN(t *testing.T) {
+	nan := float32(math.NaN())
+	bits := F16FromF32(nan)
+	if bits&0x7c00 != 0x7c00 || bits&0x3ff == 0 {
+		t.Errorf("NaN converted to %#04x, not a half NaN", bits)
+	}
+	if !math.IsNaN(float64(F16ToF32(bits))) {
+		t.Error("half NaN did not round trip to NaN")
+	}
+}
+
+func TestF16RoundTripAllBits(t *testing.T) {
+	// Every finite half value must round trip bits -> f32 -> bits exactly.
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 {
+			continue // NaN payloads need not round trip exactly
+		}
+		f := F16ToF32(h)
+		got := F16FromF32(f)
+		// -0 and +0 are distinct bit patterns and must round trip too.
+		if got != h {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+func TestF16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 and the next half value;
+	// RNE keeps the even mantissa (1.0).
+	halfway := float32(1) + float32(math.Pow(2, -11))
+	if got := F16FromF32(halfway); got != 0x3c00 {
+		t.Errorf("halfway rounding = %#04x, want 0x3c00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between odd and even; RNE goes up to even.
+	halfway2 := float32(1) + 3*float32(math.Pow(2, -11))
+	if got := F16FromF32(halfway2); got != 0x3c02 {
+		t.Errorf("halfway2 rounding = %#04x, want 0x3c02", got)
+	}
+}
+
+func TestBF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3f80},
+		{-2, 0xc000},
+		{float32(math.Inf(1)), 0x7f80},
+	}
+	for _, c := range cases {
+		if got := BF16FromF32(c.f); got != c.bits {
+			t.Errorf("BF16FromF32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := BF16ToF32(c.bits); got != c.f {
+			t.Errorf("BF16ToF32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestBF16RoundTripAllBits(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		if h&0x7f80 == 0x7f80 && h&0x7f != 0 {
+			continue // NaN
+		}
+		f := BF16ToF32(h)
+		if got := BF16FromF32(f); got != h {
+			t.Fatalf("bf16 %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+func TestHalfMonotonic(t *testing.T) {
+	// Conversion must preserve order for representable values.
+	r := stats.NewRNG(77)
+	prev := float32(math.Inf(-1))
+	vals := make([]float32, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, F16ToF32(F16FromF32(float32(r.NormFloat64()*100))))
+	}
+	_ = prev
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			a, b := vals[i], vals[j]
+			ha, hb := F16FromF32(a), F16FromF32(b)
+			// Compare via order codes (handles sign).
+			ca, cb := orderCode16(ha), orderCode16(hb)
+			if (a < b) != (ca < cb) && a != b {
+				t.Fatalf("order violated: %v vs %v -> %#x vs %#x", a, b, ca, cb)
+			}
+		}
+	}
+}

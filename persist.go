@@ -1,0 +1,75 @@
+package ansmet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ansmet/internal/core"
+	"ansmet/internal/hnsw"
+)
+
+// snapshotMagic versions the serialization format.
+const snapshotMagic = "ansmet-db-v1"
+
+// dbSnapshot is the gob-encoded on-disk form of a Database: the quantized
+// vectors and the HNSW graph. The design-specific preprocessing (layout
+// optimization, prefix elimination, partitioning) is deterministic given
+// the options and is re-run on load — it is orders of magnitude cheaper
+// than graph construction (paper Table 4).
+type dbSnapshot struct {
+	Magic  string
+	Metric Metric
+	Elem   ElemType
+	Design Design
+	Seed   uint64
+
+	Vectors [][]float32
+	Graph   *hnsw.Snapshot
+}
+
+// Save serializes the database (vectors + index graph + options) to w.
+func (db *Database) Save(w io.Writer) error {
+	snap := dbSnapshot{
+		Magic:   snapshotMagic,
+		Metric:  db.opts.Metric,
+		Elem:    db.opts.Elem,
+		Design:  *db.opts.Design,
+		Seed:    db.opts.Seed,
+		Vectors: db.vectors,
+		Graph:   db.sys.Index.Snapshot(),
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a database previously written with Save, re-running the
+// (cheap, deterministic) design preprocessing but not graph construction.
+// opts may override the persisted Design; other fields are restored.
+func Load(r io.Reader, design *Design) (*Database, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ansmet: decoding snapshot: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return nil, fmt.Errorf("ansmet: not an ansmet database (magic %q)", snap.Magic)
+	}
+	ix, err := hnsw.FromSnapshot(snap.Vectors, snap.Graph)
+	if err != nil {
+		return nil, err
+	}
+	d := snap.Design
+	if design != nil {
+		d = *design
+	}
+	cfg := core.DefaultSystemConfig(d)
+	cfg.Seed = snap.Seed
+	sys, err := core.NewSystem(snap.Vectors, snap.Elem, snap.Metric, ix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Metric: snap.Metric, Elem: snap.Elem,
+		Design: UseDesign(d), Seed: snap.Seed,
+	}
+	return &Database{opts: opts, vectors: snap.Vectors, sys: sys}, nil
+}

@@ -1,0 +1,86 @@
+package ansmet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ansmet"
+	"ansmet/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := dataset.ProfileByName("SPACEV")
+	ds := dataset.Generate(p, 500, 6, 21)
+	db, err := ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: p.Metric, Elem: p.Elem, EfConstruction: 60, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ansmet.Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d vectors, want %d", loaded.Len(), db.Len())
+	}
+	// Identical search results (same graph, same deterministic preprocessing).
+	for _, q := range ds.Queries {
+		a, err := db.SearchEf(q, 10, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.SearchEf(q, 10, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("results diverge after load: %+v vs %+v", a[j], b[j])
+			}
+		}
+	}
+	if db.Stats().PrefixBits != loaded.Stats().PrefixBits {
+		t.Error("preprocessing differs after load")
+	}
+}
+
+func TestLoadWithDesignOverride(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 300, 3, 23)
+	db, err := ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: p.Metric, Elem: p.Elem, EfConstruction: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ansmet.Load(&buf, ansmet.UseDesign(ansmet.CPUBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().Design != ansmet.CPUBase {
+		t.Errorf("design override ignored: %v", loaded.Stats().Design)
+	}
+	// Results still identical (designs are functionally equivalent).
+	a, _ := db.SearchEf(ds.Queries[0], 5, 40)
+	b, _ := loaded.SearchEf(ds.Queries[0], 5, 40)
+	for j := range a {
+		if a[j].ID != b[j].ID {
+			t.Fatal("override changed results")
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := ansmet.Load(bytes.NewReader([]byte("not a database")), nil); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
