@@ -29,7 +29,9 @@
 package ansmet
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,42 @@ import (
 	"ansmet/internal/hnsw"
 	"ansmet/internal/vecmath"
 )
+
+// Typed search-input errors, matched with errors.Is. Searches validate
+// their inputs up front and reject bad ones instead of producing confusing
+// results (a NaN query component, for example, poisons every distance).
+var (
+	// ErrBadK rejects k <= 0.
+	ErrBadK = errors.New("ansmet: k must be positive")
+	// ErrBadEf rejects a beam width below k (the beam cannot hold the
+	// requested result count).
+	ErrBadEf = errors.New("ansmet: ef must be at least k")
+	// ErrBadQuery rejects queries containing NaN or Inf components.
+	ErrBadQuery = errors.New("ansmet: query has non-finite component")
+	// ErrDimension rejects queries whose length differs from the indexed
+	// vectors'.
+	ErrDimension = errors.New("ansmet: query dimension mismatch")
+)
+
+// validateQuery applies the typed input checks shared by every search
+// entry point.
+func (db *Database) validateQuery(q []float32, k, ef int) error {
+	if k <= 0 {
+		return fmt.Errorf("%w (k=%d)", ErrBadK, k)
+	}
+	if ef < k {
+		return fmt.Errorf("%w (k=%d ef=%d)", ErrBadEf, k, ef)
+	}
+	if len(q) != db.sys.Dim {
+		return fmt.Errorf("%w (got %d, want %d)", ErrDimension, len(q), db.sys.Dim)
+	}
+	for d, x := range q {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return fmt.Errorf("%w (component %d is %v)", ErrBadQuery, d, x)
+		}
+	}
+	return nil
+}
 
 // Metric selects the distance definition.
 type Metric = vecmath.Metric
@@ -203,8 +241,8 @@ func (db *Database) Search(q []float32, k int) ([]Neighbor, error) {
 
 // SearchEf is Search with an explicit beam width (the paper's efSearch).
 func (db *Database) SearchEf(q []float32, k, ef int) ([]Neighbor, error) {
-	if len(q) != db.sys.Dim {
-		return nil, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	if err := db.validateQuery(q, k, ef); err != nil {
+		return nil, err
 	}
 	qq := make([]float32, len(q))
 	for d, x := range q {
@@ -225,8 +263,8 @@ func (db *Database) SearchEf(q []float32, k, ef int) ([]Neighbor, error) {
 // Len()×Stats().LinesPerVector. Falls back to a full scan for the Base
 // designs, which have no early-termination store.
 func (db *Database) ExactSearch(q []float32, k int) ([]Neighbor, int, error) {
-	if len(q) != db.sys.Dim {
-		return nil, 0, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	if err := db.validateQuery(q, k, k); err != nil {
+		return nil, 0, err
 	}
 	qq := make([]float32, len(q))
 	for d, x := range q {
@@ -279,8 +317,8 @@ func (db *Database) Run(queries [][]float32, k, ef int) *core.RunResult {
 // (attribute + vector hybrid search); traversal still crosses non-matching
 // vertices so the graph stays navigable.
 func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool) ([]Neighbor, error) {
-	if len(q) != db.sys.Dim {
-		return nil, fmt.Errorf("ansmet: query dim %d, want %d", len(q), db.sys.Dim)
+	if err := db.validateQuery(q, k, k); err != nil {
+		return nil, err
 	}
 	qq := make([]float32, len(q))
 	for d, x := range q {
@@ -297,13 +335,21 @@ func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool)
 	return db.sys.Index.SearchFiltered(qq, k, ef, batch, filter, db.sys.Engine, nil), nil
 }
 
+// searchManyTestHook, when non-nil, runs before each SearchMany query;
+// tests use it to exercise the worker panic-recovery path.
+var searchManyTestHook func(i int)
+
 // SearchMany runs the queries across `workers` goroutines, each with its
 // own distance engine, and returns per-query results in order. workers <= 0
 // uses GOMAXPROCS.
+//
+// A panic inside one worker (a corrupted index, a hardware-model fault
+// outside the resilient path) does not crash the process: the remaining
+// queries are cancelled and the panic is returned as an error.
 func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Neighbor, error) {
 	for i, q := range queries {
-		if len(q) != db.sys.Dim {
-			return nil, fmt.Errorf("ansmet: query %d dim %d, want %d", i, len(q), db.sys.Dim)
+		if err := db.validateQuery(q, k, ef); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
 	}
 	if workers <= 0 {
@@ -320,17 +366,35 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 		batch = 1
 	}
 	out := make([][]Neighbor, len(queries))
-	var wg sync.WaitGroup
-	next := int64(-1)
+	var (
+		wg       sync.WaitGroup
+		next     = int64(-1)
+		stop     atomic.Bool
+		panicMu  sync.Mutex
+		panicErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("ansmet: search worker panicked: %v", p)
+					}
+					panicMu.Unlock()
+					stop.Store(true)
+				}
+			}()
 			eng := db.sys.NewWorkerEngine()
-			for {
+			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(queries) {
 					return
+				}
+				if searchManyTestHook != nil {
+					searchManyTestHook(i)
 				}
 				qq := make([]float32, len(queries[i]))
 				for d, x := range queries[i] {
@@ -341,6 +405,9 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 		}()
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	return out, nil
 }
 
@@ -348,7 +415,9 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 // (timing configuration, layout parameters, partition map).
 func (db *Database) System() *core.System { return db.sys }
 
-// Stats summarizes the database's offline preprocessing.
+// Stats summarizes the database's offline preprocessing and, when the
+// fault-tolerant serving path is enabled, its cumulative fault/fallback
+// activity.
 type Stats struct {
 	Vectors           int
 	Dim               int
@@ -358,10 +427,20 @@ type Stats struct {
 	LinesPerVector    int
 	SpaceSavedPercent float64
 	PreprocessSeconds float64
+
+	// Resilience counters (zero unless Advanced.Fault or
+	// Advanced.Resilience.Enabled was set): lifetime totals across all
+	// searches on this database.
+	ResilienceEnabled   bool
+	FaultsInjected      uint64 // faults the configured schedule injected
+	FallbackComparisons uint64 // comparisons served by the CPU exact engine
+	PrimaryFailures     uint64 // comparisons that exhausted their retries
+	BreakerTrips        uint64 // per-rank circuit breakers opened
+	DegradedRanks       int    // ranks currently routed to the fallback
 }
 
 // Stats reports preprocessing facts (layout decision, prefix elimination,
-// storage footprint).
+// storage footprint) and resilience counters.
 func (db *Database) Stats() Stats {
 	s := Stats{
 		Vectors: len(db.vectors), Dim: db.sys.Dim,
@@ -373,6 +452,15 @@ func (db *Database) Stats() Stats {
 		s.PrefixBits = st.Prefix.PrefixLen
 		s.Outliers = st.NumOutliers()
 		s.SpaceSavedPercent = st.SpaceSavedFraction() * 100
+	}
+	if c := db.sys.Faults; c != nil {
+		snap := c.Snapshot()
+		s.ResilienceEnabled = true
+		s.FaultsInjected = db.sys.Injector.TotalInjections()
+		s.FallbackComparisons = snap.Fallbacks
+		s.PrimaryFailures = snap.Failures
+		s.BreakerTrips = snap.BreakerTrips
+		s.DegradedRanks = db.sys.Breakers.DegradedRanks()
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"ansmet/internal/bitplane"
 	"ansmet/internal/dram"
 	"ansmet/internal/engine"
+	"ansmet/internal/fault"
 	"ansmet/internal/hnsw"
 	"ansmet/internal/ivf"
 	"ansmet/internal/layout"
@@ -51,6 +52,18 @@ type SystemConfig struct {
 	// synchronization traversal), amortizing the per-hop offload and
 	// polling synchronization; 1 is the textbook sequential beam search.
 	BeamBatch int
+
+	// Fault, when non-nil, interposes a deterministic fault injector on the
+	// serving path (internal/fault) and implies Resilience.Enabled: NDP
+	// comparisons can fail per the schedule, and the resilient wrapper
+	// retries, trips per-rank circuit breakers and degrades to the CPU
+	// exact engine.
+	Fault *fault.Schedule
+	// Resilience tunes the fault-tolerant serving path; set Enabled to wrap
+	// the engine even without an injected fault schedule (protecting
+	// against real hardware faults, at the cost of a per-comparison breaker
+	// check).
+	Resilience engine.ResilienceConfig
 }
 
 // DefaultSystemConfig returns the paper's platform defaults for a design.
@@ -96,6 +109,16 @@ type System struct {
 	// PreprocessSeconds is the wall time of the offline pass: sampling,
 	// parameter search and layout transformation (Table 4).
 	PreprocessSeconds float64
+
+	// Resilient serving path (nil/zero unless configured): the shared fault
+	// injector, per-rank circuit breakers and event counters. Engine (and
+	// every NewWorkerEngine) is then an *engine.Resilient wrapping the NDP
+	// path with a CPU exact fallback.
+	Injector *fault.Injector
+	Breakers *engine.BreakerSet
+	Faults   *engine.Counters
+
+	vectors [][]float32
 }
 
 // NewSystem preprocesses the dataset for the configured design. The index
@@ -109,6 +132,7 @@ func NewSystem(vectors [][]float32, elem vecmath.ElemType, metric vecmath.Metric
 	}
 	s := &System{
 		Cfg: cfg, Elem: elem, Metric: metric, Dim: len(vectors[0]), Index: index,
+		vectors: vectors,
 	}
 	start := time.Now()
 
@@ -190,6 +214,15 @@ func NewSystem(vectors [][]float32, elem vecmath.ElemType, metric vecmath.Metric
 		ee.SetLocalSegments(part.NumSegments())
 	}
 
+	// Fault-tolerant serving path: interpose the injector (if any) and wrap
+	// the engine with retries, per-rank circuit breakers and CPU fallback.
+	if cfg.Fault != nil || cfg.Resilience.Enabled {
+		s.Injector = fault.NewInjector(cfg.Fault)
+		s.Breakers = engine.NewBreakerSet(cfg.Mem.Ranks(), cfg.Resilience)
+		s.Faults = &engine.Counters{}
+		s.Engine = s.wrapResilient(s.Engine)
+	}
+
 	// Polling estimator: measured line distribution when available, a
 	// full-fetch point mass otherwise.
 	var est polling.TaskEstimator
@@ -233,6 +266,36 @@ func (s *System) analyze(vectors [][]float32, cfg SystemConfig) (*layout.Analysi
 	return layout.Analyze(sample, s.Elem, s.Metric, cfg.LayoutOpts)
 }
 
+// resilienceBaseline snapshots the shared counters before a run, so the
+// attached report shows per-run deltas rather than lifetime totals.
+func (s *System) resilienceBaseline() (engine.CounterSnapshot, uint64) {
+	if s.Faults == nil {
+		return engine.CounterSnapshot{}, 0
+	}
+	return s.Faults.Snapshot(), s.Injector.TotalInjections()
+}
+
+// attachResilience fills the report's resilience section from the counter
+// deltas since the baseline (no-op when resilience is disabled).
+func (s *System) attachResilience(r *sim.Report, base engine.CounterSnapshot, baseInj uint64) {
+	if s.Faults == nil || r == nil {
+		return
+	}
+	d := s.Faults.Snapshot().Sub(base)
+	r.Resilience = &sim.ResilienceStats{
+		Attempts:        d.Attempts,
+		Retries:         d.Retries,
+		Failures:        d.Failures,
+		Fallbacks:       d.Fallbacks,
+		BreakerTrips:    d.BreakerTrips,
+		Probes:          d.Probes,
+		Reenables:       d.Reenables,
+		PanicRecoveries: d.Panics,
+		FaultInjections: s.Injector.TotalInjections() - baseInj,
+		DegradedRanks:   s.Breakers.DegradedRanks(),
+	}
+}
+
 // RunResult bundles the functional and timing outcomes of a query batch.
 type RunResult struct {
 	Results [][]hnsw.Neighbor
@@ -247,6 +310,7 @@ func (s *System) RunHNSW(queries [][]float32, k, ef int) *RunResult {
 	if batch < 1 {
 		batch = 1
 	}
+	base, baseInj := s.resilienceBaseline()
 	out := &RunResult{}
 	for _, q := range queries {
 		rec := &trace.Query{}
@@ -255,12 +319,14 @@ func (s *System) RunHNSW(queries [][]float32, k, ef int) *RunResult {
 		out.Traces = append(out.Traces, rec)
 	}
 	out.Report = sim.Run(s.SimCfg, out.Traces)
+	s.attachResilience(out.Report, base, baseInj)
 	return out
 }
 
 // RunIVF executes the queries against an IVF index built over the same
 // vectors, using this system's engine and timing model.
 func (s *System) RunIVF(ix *ivf.Index, queries [][]float32, k, ef, nprobe int) *RunResult {
+	base, baseInj := s.resilienceBaseline()
 	out := &RunResult{}
 	for _, q := range queries {
 		rec := &trace.Query{}
@@ -269,23 +335,38 @@ func (s *System) RunIVF(ix *ivf.Index, queries [][]float32, k, ef, nprobe int) *
 		out.Traces = append(out.Traces, rec)
 	}
 	out.Report = sim.Run(s.SimCfg, out.Traces)
+	s.attachResilience(out.Report, base, baseInj)
 	return out
+}
+
+// wrapResilient interposes the fault injector on base and wraps it in the
+// resilient engine (shared breakers/counters, private scratch state). The
+// CPU exact fallback guarantees correct distances for comparisons the
+// primary cannot serve.
+func (s *System) wrapResilient(base engine.Engine) engine.Engine {
+	primary := fault.WrapEngine(base, s.Injector, s.Part.ServingRanks)
+	fb := engine.NewExact(s.vectors, s.Metric, s.Elem)
+	return engine.NewResilient(primary, fb, s.Part.ServingRanks,
+		s.Breakers, s.Faults, s.Cfg.Resilience)
 }
 
 // NewWorkerEngine creates an independent distance engine over this
 // system's storage — engines are not safe for concurrent use, so parallel
-// searchers need one each.
+// searchers need one each. Worker engines share the system's breakers,
+// counters and fault injector when resilience is enabled.
 func (s *System) NewWorkerEngine() engine.Engine {
+	var base engine.Engine
 	if s.Store != nil {
 		e := s.Store.NewETEngine(s.Metric)
 		e.SetLocalSegments(s.Part.NumSegments())
-		return e
+		base = e
+	} else {
+		base = engine.NewExact(s.vectors, s.Metric, s.Elem)
 	}
-	ex, ok := s.Engine.(*engine.Exact)
-	if !ok {
-		panic("core: unexpected engine type")
+	if s.Faults != nil {
+		return s.wrapResilient(base)
 	}
-	return engine.NewExact(ex.Vectors, s.Metric, s.Elem)
+	return base
 }
 
 // MustExactEngine builds a full-precision engine over the vectors; a

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"ansmet/internal/engine"
+	"ansmet/internal/ndp"
+)
+
+// FaultyDevice interposes an Injector on the NDP instruction interface of
+// one rank's device: command payloads can be corrupted in transit, poll
+// READs dropped or delayed, and the whole rank crashed or stuck. Errors
+// that model rank-level failure are wrapped in engine.RankError so a
+// circuit breaker can attribute them.
+type FaultyDevice struct {
+	inner ndp.Device
+	inj   *Injector
+	rank  int
+}
+
+// NewFaultyDevice wraps a device for the given rank index.
+func NewFaultyDevice(inner ndp.Device, inj *Injector, rank int) *FaultyDevice {
+	return &FaultyDevice{inner: inner, inj: inj, rank: rank}
+}
+
+var _ ndp.Device = (*FaultyDevice)(nil)
+
+func (d *FaultyDevice) down() error {
+	if d.inj.Crashed(d.rank) {
+		return &engine.RankError{Rank: d.rank, Err: ErrRankDown}
+	}
+	return nil
+}
+
+// Configure implements ndp.Device.
+func (d *FaultyDevice) Configure(payload [64]byte) error {
+	if err := d.down(); err != nil {
+		return err
+	}
+	payload, _ = d.inj.Payload(d.rank, int(ndp.OpConfigure), payload)
+	return d.inner.Configure(payload)
+}
+
+// SetQuery implements ndp.Device.
+func (d *FaultyDevice) SetQuery(id, seq int, payload [64]byte) error {
+	if err := d.down(); err != nil {
+		return err
+	}
+	payload, _ = d.inj.Payload(d.rank, int(ndp.OpSetQuery), payload)
+	return d.inner.SetQuery(id, seq, payload)
+}
+
+// SetSearch implements ndp.Device.
+func (d *FaultyDevice) SetSearch(id, count int, payload [64]byte) error {
+	if err := d.down(); err != nil {
+		return err
+	}
+	payload, _ = d.inj.Payload(d.rank, int(ndp.OpSetSearch), payload)
+	return d.inner.SetSearch(id, count, payload)
+}
+
+// Poll implements ndp.Device. A stuck rank returns a valid pending
+// response forever; a delayed poll returns one pending response; a dropped
+// poll fails the READ.
+func (d *FaultyDevice) Poll(id int) ([64]byte, error) {
+	if err := d.down(); err != nil {
+		return [64]byte{}, err
+	}
+	if d.inj.Stuck(d.rank) || d.inj.DelayPoll(d.rank) {
+		return ndp.PollResponse{}.Encode(), nil
+	}
+	if d.inj.DropPoll(d.rank) {
+		return [64]byte{}, &engine.RankError{Rank: d.rank, Err: ErrPollDropped}
+	}
+	raw, err := d.inner.Poll(id)
+	if err != nil {
+		return raw, err
+	}
+	raw, _ = d.inj.Payload(d.rank, int(ndp.OpPoll), raw)
+	return raw, nil
+}
+
+// Free implements ndp.Device.
+func (d *FaultyDevice) Free(id int) { d.inner.Free(id) }
+
+// LinesPerVector implements ndp.Device.
+func (d *FaultyDevice) LinesPerVector() int { return d.inner.LinesPerVector() }
+
+// FaultyRank interposes an Injector on a unit's view of its rank storage,
+// flipping bits in fetched bit-plane lines without touching the backing
+// store (the corruption is on the read path, like a weak cell).
+type FaultyRank struct {
+	inner ndp.RankData
+	inj   *Injector
+	rank  int
+}
+
+// NewFaultyRank wraps rank storage for the given rank index.
+func NewFaultyRank(inner ndp.RankData, inj *Injector, rank int) *FaultyRank {
+	return &FaultyRank{inner: inner, inj: inj, rank: rank}
+}
+
+var _ ndp.RankData = (*FaultyRank)(nil)
+
+// VectorData implements ndp.RankData.
+func (f *FaultyRank) VectorData(addr uint32) []byte {
+	data := f.inner.VectorData(addr)
+	if out, ok := f.inj.Line(f.rank, data); ok {
+		return out
+	}
+	return data
+}

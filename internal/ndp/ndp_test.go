@@ -1,6 +1,7 @@
-package ndp
+package ndp_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,17 +9,21 @@ import (
 	"ansmet/internal/core"
 	"ansmet/internal/dataset"
 	"ansmet/internal/hnsw"
+	"ansmet/internal/ndp"
 	"ansmet/internal/prefixelim"
 	"ansmet/internal/stats"
 	"ansmet/internal/vecmath"
 )
 
 func TestConfigureRoundTrip(t *testing.T) {
-	c := Config{
+	c := ndp.Config{
 		Elem: vecmath.Float32, Dim: 960, Metric: vecmath.L2,
 		PrefixLen: 6, PrefixVal: 0x2f, Nc: 9, Tc: 1, Nf: 2,
 	}
-	got := DecodeConfigure(EncodeConfigure(c))
+	got, err := ndp.DecodeConfigure(ndp.EncodeConfigure(c))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != c {
 		t.Fatalf("configure round trip: %+v != %+v", got, c)
 	}
@@ -28,13 +33,41 @@ func TestConfigureRoundTrip(t *testing.T) {
 	}
 }
 
+func TestConfigureRejectsCorruption(t *testing.T) {
+	c := ndp.Config{Elem: vecmath.Uint8, Dim: 128, Metric: vecmath.L2, Nc: 4, Tc: 2, Nf: 2}
+	p := ndp.EncodeConfigure(c)
+	// Every single-bit flip must be caught by the CRC.
+	for bit := 0; bit < 64*8; bit++ {
+		bad := p
+		bad[bit/8] ^= 1 << uint(bit%8)
+		if _, err := ndp.DecodeConfigure(bad); !errors.Is(err, ndp.ErrCRC) {
+			t.Fatalf("bit %d flip: got %v, want ndp.ErrCRC", bit, err)
+		}
+	}
+	// A resealed-but-invalid payload must be caught by field validation.
+	bad := p
+	bad[1] = 0xff // element type out of range
+	ndp.Seal(&bad)
+	if _, err := ndp.DecodeConfigure(bad); !errors.Is(err, ndp.ErrBadField) {
+		t.Fatalf("invalid elem: got %v, want ndp.ErrBadField", err)
+	}
+	// Nc>0 with Nf==0 would hang DualSchedule; the decoder must reject it.
+	loop := ndp.Config{Elem: vecmath.Uint8, Dim: 128, Metric: vecmath.L2, Nc: 4, Tc: 2, Nf: 0}
+	if _, err := ndp.DecodeConfigure(ndp.EncodeConfigure(loop)); !errors.Is(err, ndp.ErrBadField) {
+		t.Fatalf("Nc>0,Nf=0: got %v, want ndp.ErrBadField", err)
+	}
+}
+
 func TestSetSearchRoundTrip(t *testing.T) {
-	tasks := []Task{{Addr: 7, Threshold: 1.5}, {Addr: 123456, Threshold: -2.25}, {Addr: 3, Threshold: 0}}
-	p, n, err := EncodeSetSearch(tasks)
+	tasks := []ndp.Task{{Addr: 7, Threshold: 1.5}, {Addr: 123456, Threshold: -2.25}, {Addr: 3, Threshold: 0}}
+	p, n, err := ndp.EncodeSetSearch(tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := DecodeSetSearch(p, n)
+	got, err := ndp.DecodeSetSearch(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(tasks) {
 		t.Fatalf("%d tasks, want %d", len(got), len(tasks))
 	}
@@ -43,11 +76,24 @@ func TestSetSearchRoundTrip(t *testing.T) {
 			t.Fatalf("task %d: %+v != %+v", i, got[i], tasks[i])
 		}
 	}
-	if _, _, err := EncodeSetSearch(nil); err == nil {
+	if _, _, err := ndp.EncodeSetSearch(nil); err == nil {
 		t.Error("empty set-search should fail")
 	}
-	if _, _, err := EncodeSetSearch(make([]Task, 9)); err == nil {
-		t.Error("9 tasks should fail")
+	if _, _, err := ndp.EncodeSetSearch(make([]ndp.Task, ndp.MaxTasksPerPayload+1)); err == nil {
+		t.Error("oversized batch should fail")
+	}
+	if _, _, err := ndp.EncodeSetSearch([]ndp.Task{{Threshold: float32(math.NaN())}}); err == nil {
+		t.Error("NaN threshold should fail")
+	}
+	if _, err := ndp.DecodeSetSearch(p, 0); !errors.Is(err, ndp.ErrBadField) {
+		t.Error("zero count should fail")
+	}
+	if _, err := ndp.DecodeSetSearch(p, ndp.MaxTasksPerPayload+1); !errors.Is(err, ndp.ErrBadField) {
+		t.Error("oversized count should fail")
+	}
+	p[3] ^= 0x10
+	if _, err := ndp.DecodeSetSearch(p, n); !errors.Is(err, ndp.ErrCRC) {
+		t.Error("corrupt set-search should fail CRC")
 	}
 }
 
@@ -66,11 +112,11 @@ func TestQueryChunksRoundTrip(t *testing.T) {
 				q[d] = elem.Quantize(float32(r.NormFloat64()))
 			}
 		}
-		chunks, err := EncodeQueryChunks(elem, q)
+		chunks, err := ndp.EncodeQueryChunks(elem, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := DecodeQuery(elem, dim, chunks)
+		back, err := ndp.DecodeQuery(elem, dim, chunks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,34 +125,34 @@ func TestQueryChunksRoundTrip(t *testing.T) {
 				t.Fatalf("%v: query[%d] %v -> %v", elem, d, q[d], back[d])
 			}
 		}
+		// Any corrupted chunk fails the whole query decode.
+		chunks[len(chunks)/2][5] ^= 0x04
+		if _, err := ndp.DecodeQuery(elem, dim, chunks); !errors.Is(err, ndp.ErrCRC) {
+			t.Fatalf("%v: corrupt chunk: got %v, want ndp.ErrCRC", elem, err)
+		}
 	}
 	// 1 kB QSHR limit.
-	if _, err := EncodeQueryChunks(vecmath.Float32, make([]float32, 300)); err == nil {
+	if _, err := ndp.EncodeQueryChunks(vecmath.Float32, make([]float32, 300)); err == nil {
 		t.Error("oversized query should fail")
 	}
 }
 
 func TestPollResponseRoundTrip(t *testing.T) {
-	r := PollResponse{DoneMask: 0xA5, FetchCnt: 777, Completed: true}
+	r := ndp.PollResponse{DoneMask: 0xA5, FetchCnt: 777, Completed: true, FaultMask: 0x03}
 	for i := range r.Dist {
 		r.Dist[i] = float32(i) * 1.25
 	}
-	got := DecodePollResponse(r.Encode())
+	got, err := ndp.DecodePollResponse(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != r {
 		t.Fatalf("poll round trip: %+v != %+v", got, r)
 	}
-}
-
-func TestNativeBitsRoundTrip(t *testing.T) {
-	r := stats.NewRNG(5)
-	for _, elem := range []vecmath.ElemType{vecmath.Uint8, vecmath.Int8, vecmath.Float16, vecmath.BFloat16, vecmath.Float32} {
-		w := uint(elem.Bits())
-		for i := 0; i < 2000; i++ {
-			code := uint32(r.Uint64()) & (1<<w - 1)
-			if got := nativeCode(elem, nativeBits(elem, code)); got != code {
-				t.Fatalf("%v: code %#x -> %#x", elem, code, got)
-			}
-		}
+	raw := r.Encode()
+	raw[40] ^= 0x80
+	if _, err := ndp.DecodePollResponse(raw); !errors.Is(err, ndp.ErrCRC) {
+		t.Fatalf("corrupt poll: got %v, want ndp.ErrCRC", err)
 	}
 }
 
@@ -131,8 +177,8 @@ func TestUnitMatchesETEngine(t *testing.T) {
 		codes = p.Elem.EncodeVector(v, codes[:0])
 		l.Transform(codes, slab[i*l.VectorBytes():(i+1)*l.VectorBytes()])
 	}
-	u := NewUnit(SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
-	if err := u.Configure(EncodeConfigure(Config{
+	u := ndp.NewUnit(ndp.SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
+	if err := u.Configure(ndp.EncodeConfigure(ndp.Config{
 		Elem: p.Elem, Dim: uint16(p.Dim), Metric: p.Metric,
 		Nc: 8, Tc: 1, Nf: 4,
 	})); err != nil {
@@ -142,20 +188,20 @@ func TestUnitMatchesETEngine(t *testing.T) {
 	rng := stats.NewRNG(23)
 	for qi, q := range ds.Queries {
 		eng.StartQuery(q)
-		chunks, err := EncodeQueryChunks(p.Elem, q)
+		chunks, err := ndp.EncodeQueryChunks(p.Elem, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		id := qi % NumQSHRs
+		id := qi % ndp.NumQSHRs
 
-		// Build a batch of tasks with float32-exact thresholds.
-		var tasks []Task
-		for len(tasks) < TasksPerQSHR {
+		// Build a full payload's worth of tasks with float32-exact thresholds.
+		var tasks []ndp.Task
+		for len(tasks) < ndp.MaxTasksPerPayload {
 			addr := uint32(rng.Intn(len(ds.Vectors)))
 			th := float32(p.Metric.Distance(q, ds.Vectors[rng.Intn(len(ds.Vectors))]))
-			tasks = append(tasks, Task{Addr: addr, Threshold: th})
+			tasks = append(tasks, ndp.Task{Addr: addr, Threshold: th})
 		}
-		sp, cnt, err := EncodeSetSearch(tasks)
+		sp, cnt, err := ndp.EncodeSetSearch(tasks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,12 +214,20 @@ func TestUnitMatchesETEngine(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		resp, err := u.Poll(id)
+		raw, err := u.Poll(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !resp.Completed || resp.DoneMask != 0xFF {
+		resp, err := ndp.DecodePollResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint8(1<<uint(cnt) - 1)
+		if !resp.Completed || resp.DoneMask != want {
 			t.Fatalf("QSHR not completed: %+v", resp)
+		}
+		if resp.FaultMask != 0 {
+			t.Fatalf("fault-free run flagged faults: %+v", resp)
 		}
 		totalLines := 0
 		for ti, task := range tasks {
@@ -183,7 +237,7 @@ func TestUnitMatchesETEngine(t *testing.T) {
 				if math.Abs(float64(resp.Dist[ti])-ref.Dist) > 1e-5*math.Max(1, math.Abs(ref.Dist)) {
 					t.Fatalf("q%d task %d: unit dist %v, engine %v", qi, ti, resp.Dist[ti], ref.Dist)
 				}
-			} else if resp.Dist[ti] != InvalidDist {
+			} else if resp.Dist[ti] != ndp.InvalidDist {
 				t.Fatalf("q%d task %d: rejected task has result %v", qi, ti, resp.Dist[ti])
 			}
 		}
@@ -195,17 +249,17 @@ func TestUnitMatchesETEngine(t *testing.T) {
 }
 
 func TestUnitErrors(t *testing.T) {
-	u := NewUnit(SliceRank{})
+	u := ndp.NewUnit(ndp.SliceRank{})
 	if err := u.SetQuery(0, 0, [64]byte{}); err == nil {
 		t.Error("set-query before configure should fail")
 	}
 	if err := u.SetSearch(0, 1, [64]byte{}); err == nil {
 		t.Error("set-search before configure should fail")
 	}
-	if err := u.Configure(EncodeConfigure(Config{Elem: vecmath.Uint8})); err == nil {
+	if err := u.Configure(ndp.EncodeConfigure(ndp.Config{Elem: vecmath.Uint8})); err == nil {
 		t.Error("zero-dim configure should fail")
 	}
-	if err := u.Configure(EncodeConfigure(Config{Elem: vecmath.Uint8, Dim: 8, Nc: 4, Tc: 2, Nf: 2})); err != nil {
+	if err := u.Configure(ndp.EncodeConfigure(ndp.Config{Elem: vecmath.Uint8, Dim: 8, Nc: 4, Tc: 2, Nf: 2})); err != nil {
 		t.Fatal(err)
 	}
 	if err := u.SetSearch(99, 1, [64]byte{}); err == nil {
@@ -213,6 +267,61 @@ func TestUnitErrors(t *testing.T) {
 	}
 	if _, err := u.Poll(-1); err == nil {
 		t.Error("out-of-range poll should fail")
+	}
+}
+
+// TestUnitFlagsShortData: a task whose rank data is shorter than the
+// configured footprint must be reported through FaultMask, not a panic and
+// not a silent bogus distance.
+func TestUnitFlagsShortData(t *testing.T) {
+	cfg := ndp.Config{Elem: vecmath.Uint8, Dim: 32, Metric: vecmath.L2, Nc: 4, Tc: 2, Nf: 2}
+	sched := cfg.Schedule()
+	l := bitplane.MustLayout(cfg.Elem, int(cfg.Dim), sched)
+
+	// One valid vector, then an address past the end of the slab.
+	q := make([]float32, cfg.Dim)
+	codes := cfg.Elem.EncodeVector(q, nil)
+	slab := make([]byte, l.VectorBytes())
+	l.Transform(codes, slab)
+	u := ndp.NewUnit(ndp.SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
+	if err := u.Configure(ndp.EncodeConfigure(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	sp, cnt, err := ndp.EncodeSetSearch([]ndp.Task{
+		{Addr: 0, Threshold: 1e30},
+		{Addr: 9999, Threshold: 1e30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SetSearch(0, cnt, sp); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ndp.EncodeQueryChunks(cfg.Elem, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, c := range chunks {
+		if err := u.SetQuery(0, seq, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := u.Poll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ndp.DecodePollResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Completed || resp.DoneMask != 0b11 {
+		t.Fatalf("unexpected completion state: %+v", resp)
+	}
+	if resp.FaultMask != 0b10 {
+		t.Fatalf("FaultMask = %08b, want task 1 flagged", resp.FaultMask)
+	}
+	if resp.Dist[1] != ndp.InvalidDist {
+		t.Fatalf("faulted task wrote a result: %v", resp.Dist[1])
 	}
 }
 
@@ -239,12 +348,9 @@ func TestHostAdapterFullSearch(t *testing.T) {
 		codes = p.Elem.EncodeVector(v, codes[:0])
 		l.Transform(codes, slab[i*l.VectorBytes():(i+1)*l.VectorBytes()])
 	}
-	cfg := Config{Elem: p.Elem, Dim: uint16(p.Dim), Metric: p.Metric, Nc: 4, Tc: 2, Nf: 4}
-	u := NewUnit(SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
-	if err := u.Configure(EncodeConfigure(cfg)); err != nil {
-		t.Fatal(err)
-	}
-	hw, err := NewHostAdapter(u, cfg)
+	cfg := ndp.Config{Elem: p.Elem, Dim: uint16(p.Dim), Metric: p.Metric, Nc: 4, Tc: 2, Nf: 4}
+	u := ndp.NewUnit(ndp.SliceRank{Bytes: slab, VectorBytes: l.VectorBytes()})
+	hw, err := ndp.NewHostAdapter(u, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

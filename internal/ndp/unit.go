@@ -2,6 +2,7 @@ package ndp
 
 import (
 	"fmt"
+	"math"
 
 	"ansmet/internal/bitplane"
 )
@@ -13,23 +14,49 @@ type RankData interface {
 	VectorData(addr uint32) []byte
 }
 
+// Device is the host-visible NDP instruction interface — what a memory
+// controller can address over the DDR bus. *Unit implements it directly;
+// fault-injection wrappers (internal/fault) interpose on it to corrupt
+// payloads in transit, drop poll READs, or take a whole rank down.
+type Device interface {
+	// Configure applies a configure instruction payload.
+	Configure(payload [64]byte) error
+	// SetQuery applies one set-query chunk (seq from the DDR address).
+	SetQuery(id, seq int, payload [64]byte) error
+	// SetSearch applies a set-search instruction (count from the address).
+	SetSearch(id, count int, payload [64]byte) error
+	// Poll reads the QSHR's encoded result payload (a DDR READ).
+	Poll(id int) ([64]byte, error)
+	// Free releases a QSHR for reuse.
+	Free(id int)
+	// LinesPerVector reports the configured per-vector line footprint
+	// (0 before a successful configure).
+	LinesPerVector() int
+}
+
 // qshr is one query-status handling register set (Fig. 5(c)).
 type qshr struct {
-	chunks   [][64]byte
-	query    []float32
-	tasks    []Task
-	results  [TasksPerQSHR]float32
-	doneMask uint8
-	fetchCnt uint16
-	haveQ    bool
-	haveS    bool
-	done     bool
+	chunks    [][64]byte
+	query     []float32
+	tasks     []Task
+	results   [TasksPerQSHR]float32
+	doneMask  uint8
+	faultMask uint8
+	fetchCnt  uint16
+	haveQ     bool
+	haveS     bool
+	done      bool
 }
 
 // Unit is a functional NDP unit: it consumes DDR-encoded instructions and
 // executes comparison tasks against its rank's data. It is deterministic
 // and single-threaded, mirroring the sequential per-QSHR task processing of
-// §5.2.
+// §5.2. Corrupt instruction payloads are rejected by CRC/field validation,
+// and task execution enforces the early-termination bound invariant (the
+// running lower bound is monotonically non-decreasing); violations — rank
+// data shorter than the configured footprint, non-monotone or NaN bounds —
+// mark the task in the poll response's FaultMask instead of returning a
+// corrupt distance.
 type Unit struct {
 	data RankData
 
@@ -40,14 +67,16 @@ type Unit struct {
 	cfgOK   bool
 }
 
+var _ Device = (*Unit)(nil)
+
 // NewUnit creates a unit over its rank's data.
 func NewUnit(data RankData) *Unit { return &Unit{data: data} }
 
 // Configure applies a configure instruction.
 func (u *Unit) Configure(payload [64]byte) error {
-	c := DecodeConfigure(payload)
-	if c.Dim == 0 {
-		return fmt.Errorf("ndp: configure with zero dimension")
+	c, err := DecodeConfigure(payload)
+	if err != nil {
+		return err
 	}
 	sched := c.Schedule()
 	l, err := bitplane.NewLayout(c.Elem, int(c.Dim), sched)
@@ -64,9 +93,18 @@ func (u *Unit) Configure(payload [64]byte) error {
 	return nil
 }
 
+// LinesPerVector implements Device.
+func (u *Unit) LinesPerVector() int {
+	if !u.cfgOK {
+		return 0
+	}
+	return u.layout.LinesPerVector()
+}
+
 // SetQuery applies one set-query chunk (seq is the chunk index encoded in
-// the DDR address, §5.2). The last chunk (seq == total-1) finalizes the
-// query; tasks waiting in the QSHR then execute.
+// the DDR address, §5.2). The last chunk finalizes the query; tasks waiting
+// in the QSHR then execute. Corrupt chunks are rejected before being
+// stored.
 func (u *Unit) SetQuery(id, seq int, payload [64]byte) error {
 	if !u.cfgOK {
 		return fmt.Errorf("ndp: set-query before configure")
@@ -74,12 +112,18 @@ func (u *Unit) SetQuery(id, seq int, payload [64]byte) error {
 	if id < 0 || id >= NumQSHRs {
 		return fmt.Errorf("ndp: QSHR id %d out of range", id)
 	}
+	if seq < 0 || seq > 1024/PayloadDataBytes {
+		return &ProtocolError{OpSetQuery, fmt.Errorf("%w: chunk index %d", ErrBadField, seq)}
+	}
+	if !checkCRC(payload) {
+		return &ProtocolError{OpSetQuery, ErrCRC}
+	}
 	q := &u.qshrs[id]
 	for len(q.chunks) <= seq {
 		q.chunks = append(q.chunks, [64]byte{})
 	}
 	q.chunks[seq] = payload
-	need := (int(u.cfg.Dim)*u.cfg.Elem.Bytes() + 63) / 64
+	need := (int(u.cfg.Dim)*u.cfg.Elem.Bytes() + PayloadDataBytes - 1) / PayloadDataBytes
 	if len(q.chunks) >= need {
 		query, err := DecodeQuery(u.cfg.Elem, int(u.cfg.Dim), q.chunks)
 		if err != nil {
@@ -92,10 +136,10 @@ func (u *Unit) SetQuery(id, seq int, payload [64]byte) error {
 	return nil
 }
 
-// SetSearch applies a set-search instruction: up to 8 comparison tasks for
-// one QSHR (count comes from the DDR address encoding). Per the paper's
-// optimization, set-search may arrive before set-query; the QSHR starts
-// once both are present.
+// SetSearch applies a set-search instruction: up to MaxTasksPerPayload
+// comparison tasks for one QSHR (count comes from the DDR address
+// encoding). Per the paper's optimization, set-search may arrive before
+// set-query; the QSHR starts once both are present.
 func (u *Unit) SetSearch(id, count int, payload [64]byte) error {
 	if !u.cfgOK {
 		return fmt.Errorf("ndp: set-search before configure")
@@ -103,11 +147,16 @@ func (u *Unit) SetSearch(id, count int, payload [64]byte) error {
 	if id < 0 || id >= NumQSHRs {
 		return fmt.Errorf("ndp: QSHR id %d out of range", id)
 	}
+	tasks, err := DecodeSetSearch(payload, count)
+	if err != nil {
+		return err
+	}
 	q := &u.qshrs[id]
-	q.tasks = DecodeSetSearch(payload, count)
+	q.tasks = tasks
 	q.haveS = true
 	q.done = false
 	q.doneMask = 0
+	q.faultMask = 0
 	q.fetchCnt = 0
 	for i := range q.results {
 		q.results[i] = InvalidDist
@@ -122,13 +171,14 @@ func (u *Unit) maybeRun(q *qshr) {
 		return
 	}
 	u.bounder.ResetQuery(q.query)
+	full := u.layout.LinesPerVector()
 	for ti, task := range q.tasks {
 		data := u.data.VectorData(task.Addr)
-		u.bounder.Reset()
-		lb, lines := u.bounder.RunET(data, float64(task.Threshold))
+		lb, lines, ok := u.runTask(data, float64(task.Threshold), full)
 		q.fetchCnt += uint16(lines)
-		full := u.layout.LinesPerVector()
-		if lines == full && lb <= float64(task.Threshold) {
+		if !ok {
+			q.faultMask |= 1 << uint(ti)
+		} else if lines == full && lb <= float64(task.Threshold) {
 			// Within threshold: write the exact distance to the result
 			// register (§5.2); rejections leave the invalid MAX value.
 			q.results[ti] = float32(lb)
@@ -138,15 +188,43 @@ func (u *Unit) maybeRun(q *qshr) {
 	q.done = true
 }
 
-// Poll returns the QSHR's result registers (a DDR READ in hardware).
-func (u *Unit) Poll(id int) (PollResponse, error) {
+// runTask executes one comparison with early termination, enforcing the
+// bound-sanity invariant: each consumed line may only tighten (raise) the
+// lower bound, and bounds are never NaN. A violation, or rank data shorter
+// than the configured footprint, reports ok=false — the result register
+// must not be trusted.
+func (u *Unit) runTask(data []byte, threshold float64, full int) (lb float64, lines int, ok bool) {
+	if len(data) < full*bitplane.LineBytes {
+		return 0, 0, false
+	}
+	u.bounder.Reset()
+	prev := math.Inf(-1)
+	for lines < full {
+		lb = u.bounder.ConsumeNext(data[lines*bitplane.LineBytes : (lines+1)*bitplane.LineBytes])
+		lines++
+		if math.IsNaN(lb) || lb < prev {
+			return lb, lines, false
+		}
+		prev = lb
+		if lb > threshold {
+			break
+		}
+	}
+	return lb, lines, true
+}
+
+// Poll returns the QSHR's encoded result payload (a DDR READ in hardware).
+func (u *Unit) Poll(id int) ([64]byte, error) {
 	if id < 0 || id >= NumQSHRs {
-		return PollResponse{}, fmt.Errorf("ndp: QSHR id %d out of range", id)
+		return [64]byte{}, fmt.Errorf("ndp: QSHR id %d out of range", id)
 	}
 	q := &u.qshrs[id]
-	r := PollResponse{DoneMask: q.doneMask, FetchCnt: q.fetchCnt, Completed: q.done}
+	r := PollResponse{
+		DoneMask: q.doneMask, FetchCnt: q.fetchCnt,
+		Completed: q.done, FaultMask: q.faultMask,
+	}
 	copy(r.Dist[:], q.results[:])
-	return r, nil
+	return r.Encode(), nil
 }
 
 // Free releases a QSHR for reuse (the host's responsibility, §5.2).
@@ -157,7 +235,9 @@ func (u *Unit) Free(id int) {
 }
 
 // SliceRank is a simple RankData over a contiguous slab of equally sized
-// transformed vectors (addr = vector index).
+// transformed vectors (addr = vector index). Out-of-range addresses return
+// nil rather than panicking — the unit reports them through the poll
+// response's FaultMask.
 type SliceRank struct {
 	Bytes       []byte
 	VectorBytes int
@@ -165,7 +245,13 @@ type SliceRank struct {
 
 // VectorData implements RankData.
 func (s SliceRank) VectorData(addr uint32) []byte {
+	if s.VectorBytes <= 0 {
+		return nil
+	}
 	off := int(addr) * s.VectorBytes
+	if off < 0 || off+s.VectorBytes > len(s.Bytes) {
+		return nil
+	}
 	return s.Bytes[off : off+s.VectorBytes]
 }
 

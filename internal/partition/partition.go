@@ -195,6 +195,20 @@ func (m *Map) FetchedPerSegment(nfLocal int, fullFetch bool) []int {
 	return out
 }
 
+// ServingRanks appends the ranks that serve a comparison against vector id
+// — its home group's segment ranks — to dst and returns the extended slice.
+// The resilient serving path uses this to attribute comparison failures to
+// hardware and to route around degraded ranks. (Replicated vectors could be
+// served by any group; attributing them to the home group keeps the fault
+// model conservative.)
+func (m *Map) ServingRanks(id uint32, dst []int) []int {
+	g := m.GroupOf(id)
+	for seg := 0; seg < m.numSegs; seg++ {
+		dst = append(dst, m.RankFor(g, seg))
+	}
+	return dst
+}
+
 // LinesPerVector returns the vector footprint in lines.
 func (m *Map) LinesPerVector() int { return m.linesPerVector }
 

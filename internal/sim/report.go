@@ -40,6 +40,28 @@ type Report struct {
 	// CoreWaitNs accumulates time queries spent waiting for a free host
 	// core before their host phases (diagnostic).
 	CoreWaitNs float64
+
+	// Resilience summarizes the fault-tolerant serving path's activity
+	// during the functional run that produced the traces (filled by
+	// core.System when resilience is enabled; nil otherwise). The timing
+	// model itself replays the recorded traces — the functional layer is
+	// where faults, retries and fallbacks happen.
+	Resilience *ResilienceStats
+}
+
+// ResilienceStats mirrors engine.CounterSnapshot plus injector totals, kept
+// as a plain struct so the timing layer stays decoupled from the engine.
+type ResilienceStats struct {
+	Attempts        uint64 // primary comparisons attempted
+	Retries         uint64 // failed attempts retried
+	Failures        uint64 // comparisons that exhausted retries
+	Fallbacks       uint64 // comparisons served by the CPU fallback
+	BreakerTrips    uint64 // circuit breakers opened
+	Probes          uint64 // half-open probes issued
+	Reenables       uint64 // ranks re-enabled by a successful probe
+	PanicRecoveries uint64 // primary panics converted to failures
+	FaultInjections uint64 // faults the schedule injected
+	DegradedRanks   int    // ranks whose breaker is not closed at run end
 }
 
 // AvgLatencyNs returns the mean per-query latency.

@@ -1,16 +1,25 @@
 package ansmet
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"ansmet/internal/core"
 	"ansmet/internal/hnsw"
+	"ansmet/internal/vecmath"
 )
 
-// snapshotMagic versions the serialization format.
-const snapshotMagic = "ansmet-db-v1"
+// snapshotMagic versions the serialization format. v2 added the raw header
+// below; v1 files (pre-hardening) are rejected.
+const snapshotMagic = "ansmet-db-v2"
+
+// snapshotHeader is a raw byte prefix written before the gob stream, so
+// Load can reject non-ansmet files before handing attacker-controlled
+// bytes to the gob decoder.
+var snapshotHeader = []byte("ANSMETDB2\n")
 
 // dbSnapshot is the gob-encoded on-disk form of a Database: the quantized
 // vectors and the HNSW graph. The design-specific preprocessing (layout
@@ -30,6 +39,9 @@ type dbSnapshot struct {
 
 // Save serializes the database (vectors + index graph + options) to w.
 func (db *Database) Save(w io.Writer) error {
+	if _, err := w.Write(snapshotHeader); err != nil {
+		return fmt.Errorf("ansmet: writing snapshot header: %w", err)
+	}
 	snap := dbSnapshot{
 		Magic:   snapshotMagic,
 		Metric:  db.opts.Metric,
@@ -42,16 +54,92 @@ func (db *Database) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
+// decodeSnapshot gob-decodes with a recover guard: the gob decoder (and
+// anything downstream of a hostile payload) must surface as an error, never
+// a panic.
+func decodeSnapshot(r io.Reader) (snap dbSnapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("ansmet: malformed snapshot: %v", p)
+		}
+	}()
+	err = gob.NewDecoder(r).Decode(&snap)
+	return snap, err
+}
+
+// validateSnapshot bounds-checks every decoded field before the snapshot is
+// acted on: a corrupt or crafted file must fail here, not crash deep inside
+// preprocessing.
+func validateSnapshot(snap *dbSnapshot) error {
+	if snap.Magic != snapshotMagic {
+		return fmt.Errorf("ansmet: unsupported snapshot version %q (want %q)", snap.Magic, snapshotMagic)
+	}
+	if snap.Metric < vecmath.L2 || snap.Metric > vecmath.Cosine {
+		return fmt.Errorf("ansmet: snapshot has invalid metric %d", int(snap.Metric))
+	}
+	if snap.Elem < vecmath.Uint8 || snap.Elem > vecmath.Float32 {
+		return fmt.Errorf("ansmet: snapshot has invalid element type %d", int(snap.Elem))
+	}
+	valid := false
+	for _, d := range core.AllDesigns {
+		if snap.Design == d {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("ansmet: snapshot has invalid design %d", int(snap.Design))
+	}
+	if len(snap.Vectors) == 0 {
+		return fmt.Errorf("ansmet: snapshot has no vectors")
+	}
+	dim := len(snap.Vectors[0])
+	if dim == 0 {
+		return fmt.Errorf("ansmet: snapshot has zero-dimension vectors")
+	}
+	for i, v := range snap.Vectors {
+		if len(v) != dim {
+			return fmt.Errorf("ansmet: snapshot vector %d has dim %d, want %d", i, len(v), dim)
+		}
+		for d, x := range v {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return fmt.Errorf("ansmet: snapshot vector %d component %d is %v", i, d, x)
+			}
+		}
+	}
+	if snap.Graph == nil {
+		return fmt.Errorf("ansmet: snapshot has no index graph")
+	}
+	return nil
+}
+
 // Load reconstructs a database previously written with Save, re-running the
 // (cheap, deterministic) design preprocessing but not graph construction.
-// opts may override the persisted Design; other fields are restored.
-func Load(r io.Reader, design *Design) (*Database, error) {
-	var snap dbSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+// design may override the persisted Design; other fields are restored.
+//
+// Load is hardened against corrupt or hostile input: the raw header and
+// format version are checked first, every decoded field is bounds-checked,
+// and graph reconstruction validates the topology — malformed files return
+// errors, never panic (FuzzLoad asserts this).
+func Load(r io.Reader, design *Design) (db *Database, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			db, err = nil, fmt.Errorf("ansmet: malformed snapshot: %v", p)
+		}
+	}()
+	header := make([]byte, len(snapshotHeader))
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("ansmet: not an ansmet database (short header)")
+	}
+	if !bytes.Equal(header, snapshotHeader) {
+		return nil, fmt.Errorf("ansmet: not an ansmet database (bad header)")
+	}
+	snap, err := decodeSnapshot(r)
+	if err != nil {
 		return nil, fmt.Errorf("ansmet: decoding snapshot: %w", err)
 	}
-	if snap.Magic != snapshotMagic {
-		return nil, fmt.Errorf("ansmet: not an ansmet database (magic %q)", snap.Magic)
+	if err := validateSnapshot(&snap); err != nil {
+		return nil, err
 	}
 	ix, err := hnsw.FromSnapshot(snap.Vectors, snap.Graph)
 	if err != nil {

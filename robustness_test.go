@@ -1,0 +1,144 @@
+package ansmet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyDB builds a small database for input-validation and recovery tests.
+func tinyDB(t testing.TB) *Database {
+	t.Helper()
+	vs := make([][]float32, 64)
+	for i := range vs {
+		v := make([]float32, 8)
+		for d := range v {
+			v[d] = float32(math.Sin(float64(i*8+d)))*0.4 + 0.5
+		}
+		vs[i] = v
+	}
+	db, err := New(vs, Options{Metric: L2, Elem: Float32, EfConstruction: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSearchInputErrors: every entry point rejects malformed inputs with
+// the typed sentinel errors, never a panic or a silent empty result.
+func TestSearchInputErrors(t *testing.T) {
+	db := tinyDB(t)
+	good := make([]float32, 8)
+
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"k=0", func() error { _, err := db.Search(good, 0); return err }, ErrBadK},
+		{"k<0", func() error { _, err := db.Search(good, -3); return err }, ErrBadK},
+		{"ef<k", func() error { _, err := db.SearchEf(good, 10, 5); return err }, ErrBadEf},
+		{"short query", func() error { _, err := db.Search(good[:4], 5); return err }, ErrDimension},
+		{"long query", func() error { _, err := db.Search(make([]float32, 9), 5); return err }, ErrDimension},
+		{"NaN", func() error {
+			q := append([]float32(nil), good...)
+			q[3] = float32(math.NaN())
+			_, err := db.Search(q, 5)
+			return err
+		}, ErrBadQuery},
+		{"+Inf", func() error {
+			q := append([]float32(nil), good...)
+			q[0] = float32(math.Inf(1))
+			_, err := db.Search(q, 5)
+			return err
+		}, ErrBadQuery},
+		{"exact k=0", func() error { _, _, err := db.ExactSearch(good, 0); return err }, ErrBadK},
+		{"filtered NaN", func() error {
+			q := append([]float32(nil), good...)
+			q[7] = float32(math.NaN())
+			_, err := db.SearchFiltered(q, 5, func(uint32) bool { return true })
+			return err
+		}, ErrBadQuery},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+
+	// SearchMany validates every query up front and names the offender.
+	bad := append([]float32(nil), good...)
+	bad[2] = float32(math.Inf(-1))
+	_, err := db.SearchMany([][]float32{good, bad}, 5, 10, 2)
+	if !errors.Is(err, ErrBadQuery) || !strings.Contains(err.Error(), "query 1") {
+		t.Errorf("SearchMany err = %v, want ErrBadQuery naming query 1", err)
+	}
+}
+
+// TestSearchManyPanicRecovered: a panic inside a search worker is caught,
+// the remaining queries are cancelled, and the panic comes back as an
+// error — the process (and subsequent searches) survive.
+func TestSearchManyPanicRecovered(t *testing.T) {
+	db := tinyDB(t)
+	queries := make([][]float32, 32)
+	for i := range queries {
+		queries[i] = db.Vector(uint32(i))
+	}
+
+	searchManyTestHook = func(i int) {
+		if i == 5 {
+			panic("injected worker fault")
+		}
+	}
+	defer func() { searchManyTestHook = nil }()
+
+	_, err := db.SearchMany(queries, 3, 10, 4)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("SearchMany err = %v, want worker-panic error", err)
+	}
+
+	// The database is still serviceable afterwards.
+	searchManyTestHook = nil
+	res, err := db.SearchMany(queries, 3, 10, 4)
+	if err != nil {
+		t.Fatalf("post-recovery SearchMany: %v", err)
+	}
+	for i, r := range res {
+		if len(r) != 3 {
+			t.Fatalf("query %d: %d results", i, len(r))
+		}
+	}
+}
+
+// FuzzLoad: Load must return an error — never panic, never OOM-loop — on
+// arbitrary bytes, including truncations and mutations of a valid snapshot.
+func FuzzLoad(f *testing.F) {
+	db := tinyDB(f)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add([]byte{})
+	f.Add([]byte("ANSMETDB2\n"))
+	f.Add([]byte("not a database at all"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data), nil)
+		if err != nil && db != nil {
+			t.Fatal("Load returned both a database and an error")
+		}
+		if err == nil && db == nil {
+			t.Fatal("Load returned neither a database nor an error")
+		}
+	})
+}
