@@ -38,6 +38,7 @@ import (
 
 	"ansmet/internal/core"
 	"ansmet/internal/dataset"
+	"ansmet/internal/engine"
 	"ansmet/internal/hnsw"
 	"ansmet/internal/vecmath"
 )
@@ -179,6 +180,40 @@ type Database struct {
 	opts    Options
 	vectors [][]float32
 	sys     *core.System
+
+	scratchPool sync.Pool // *searchScratch
+}
+
+// searchScratch is the reusable per-search state: the quantized query
+// buffer, a private distance engine (engines hold per-query bounder state,
+// so each concurrent search needs its own), and a result buffer. Pooled on
+// the Database so steady-state searches through SearchInto allocate
+// nothing.
+type searchScratch struct {
+	qq  []float32
+	eng engine.Engine
+	buf []Neighbor
+}
+
+func (db *Database) getScratch() *searchScratch {
+	s, _ := db.scratchPool.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{
+			qq:  make([]float32, db.sys.Dim),
+			eng: db.sys.NewWorkerEngine(),
+		}
+	}
+	return s
+}
+
+func (db *Database) putScratch(s *searchScratch) { db.scratchPool.Put(s) }
+
+// quantize fills s.qq with the element-type-quantized query.
+func (s *searchScratch) quantize(q []float32, elem ElemType) []float32 {
+	for d, x := range q {
+		s.qq[d] = elem.Quantize(x)
+	}
+	return s.qq
 }
 
 // New ingests the vectors (quantizing them to the element type), builds the
@@ -241,18 +276,25 @@ func (db *Database) Search(q []float32, k int) ([]Neighbor, error) {
 
 // SearchEf is Search with an explicit beam width (the paper's efSearch).
 func (db *Database) SearchEf(q []float32, k, ef int) ([]Neighbor, error) {
+	return db.SearchInto(q, k, ef, nil)
+}
+
+// SearchInto is SearchEf appending results into dst[:0] instead of
+// allocating a fresh slice. With a reused dst of sufficient capacity the
+// whole search is allocation-free at steady state: the quantize buffer, the
+// distance engine, and the traversal scratch all come from pools.
+func (db *Database) SearchInto(q []float32, k, ef int, dst []Neighbor) ([]Neighbor, error) {
 	if err := db.validateQuery(q, k, ef); err != nil {
 		return nil, err
 	}
-	qq := make([]float32, len(q))
-	for d, x := range q {
-		qq[d] = db.opts.Elem.Quantize(x)
-	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qq := s.quantize(q, db.opts.Elem)
 	batch := db.sys.Cfg.BeamBatch
 	if batch < 1 {
 		batch = 1
 	}
-	return db.sys.Index.SearchBatched(qq, k, ef, batch, db.sys.Engine, nil), nil
+	return db.sys.Index.SearchBatchedInto(qq, k, ef, batch, s.eng, nil, dst), nil
 }
 
 // ExactSearch returns the exact k nearest neighbors by scanning the whole
@@ -266,13 +308,18 @@ func (db *Database) ExactSearch(q []float32, k int) ([]Neighbor, int, error) {
 	if err := db.validateQuery(q, k, k); err != nil {
 		return nil, 0, err
 	}
-	qq := make([]float32, len(q))
-	for d, x := range q {
-		qq[d] = db.opts.Elem.Quantize(x)
-	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qq := s.quantize(q, db.opts.Elem)
 	if db.sys.Store != nil {
-		eng := db.sys.Store.NewETEngine(db.opts.Metric)
-		nn, lines := eng.ExactKNN(qq, k)
+		// Reuse the pooled engine when it is a plain ET engine (the common
+		// case); resilience-wrapped engines don't expose ExactKNN, so fall
+		// back to a one-off engine there.
+		et, ok := s.eng.(*core.ETEngine)
+		if !ok {
+			et = db.sys.Store.NewETEngine(db.opts.Metric)
+		}
+		nn, lines := et.ExactKNN(qq, k)
 		return nn, lines, nil
 	}
 	// Base designs: plain full scan.
@@ -320,10 +367,9 @@ func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool)
 	if err := db.validateQuery(q, k, k); err != nil {
 		return nil, err
 	}
-	qq := make([]float32, len(q))
-	for d, x := range q {
-		qq[d] = db.opts.Elem.Quantize(x)
-	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qq := s.quantize(q, db.opts.Elem)
 	ef := 2 * k
 	if ef < 32 {
 		ef = 32
@@ -332,16 +378,25 @@ func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool)
 	if batch < 1 {
 		batch = 1
 	}
-	return db.sys.Index.SearchFiltered(qq, k, ef, batch, filter, db.sys.Engine, nil), nil
+	return db.sys.Index.SearchFiltered(qq, k, ef, batch, filter, s.eng, nil), nil
 }
 
 // searchManyTestHook, when non-nil, runs before each SearchMany query;
 // tests use it to exercise the worker panic-recovery path.
 var searchManyTestHook func(i int)
 
-// SearchMany runs the queries across `workers` goroutines, each with its
-// own distance engine, and returns per-query results in order. workers <= 0
-// uses GOMAXPROCS.
+// searchManyChunk is the number of queries a SearchMany worker claims per
+// atomic increment. Chunking amortizes the shared-counter contention while
+// staying fine-grained enough to balance skewed query costs.
+const searchManyChunk = 16
+
+// SearchMany runs the queries across `workers` goroutines and returns
+// per-query results in order. workers <= 0 uses GOMAXPROCS.
+//
+// Workers claim chunks of searchManyChunk queries from a shared atomic
+// counter and draw their scratch state (quantize buffer, private distance
+// engine, traversal heaps) from the database's pool, so the only per-query
+// allocation at steady state is the returned result slice itself.
 //
 // A panic inside one worker (a corrupted index, a hardware-model fault
 // outside the resilient path) does not crash the process: the remaining
@@ -366,6 +421,7 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 		batch = 1
 	}
 	out := make([][]Neighbor, len(queries))
+	nchunks := (len(queries) + searchManyChunk - 1) / searchManyChunk
 	var (
 		wg       sync.WaitGroup
 		next     = int64(-1)
@@ -387,20 +443,28 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 					stop.Store(true)
 				}
 			}()
-			eng := db.sys.NewWorkerEngine()
+			s := db.getScratch()
+			defer db.putScratch(s)
 			for !stop.Load() {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(queries) {
+				c := int(atomic.AddInt64(&next, 1))
+				if c >= nchunks {
 					return
 				}
-				if searchManyTestHook != nil {
-					searchManyTestHook(i)
+				lo := c * searchManyChunk
+				hi := lo + searchManyChunk
+				if hi > len(queries) {
+					hi = len(queries)
 				}
-				qq := make([]float32, len(queries[i]))
-				for d, x := range queries[i] {
-					qq[d] = db.opts.Elem.Quantize(x)
+				for i := lo; i < hi && !stop.Load(); i++ {
+					if searchManyTestHook != nil {
+						searchManyTestHook(i)
+					}
+					qq := s.quantize(queries[i], db.opts.Elem)
+					s.buf = db.sys.Index.SearchBatchedInto(qq, k, ef, batch, s.eng, nil, s.buf)
+					res := make([]Neighbor, len(s.buf))
+					copy(res, s.buf)
+					out[i] = res
 				}
-				out[i] = db.sys.Index.SearchBatched(qq, k, ef, batch, eng, nil)
 			}
 		}()
 	}

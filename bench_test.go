@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"ansmet"
 	"ansmet/internal/bitplane"
 	"ansmet/internal/core"
 	"ansmet/internal/dataset"
@@ -24,6 +25,7 @@ import (
 	"ansmet/internal/hnsw"
 	"ansmet/internal/layout"
 	"ansmet/internal/prefixelim"
+	"ansmet/internal/stats"
 	"ansmet/internal/vecmath"
 )
 
@@ -200,6 +202,118 @@ func BenchmarkHNSWSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ix.Search(ds.Queries[i%len(ds.Queries)], 10, 64, eng, nil)
 	}
+}
+
+// benchDB builds a small default-design database shared by the search hot
+// path benchmarks (BenchmarkSearchAllocs, BenchmarkSearchMany).
+var benchDB = sync.OnceValue(func() *ansmet.Database {
+	ds := benchData()
+	db, err := ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: ansmet.L2, Elem: ansmet.Uint8, EfConstruction: 100,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return db
+})
+
+// BenchmarkBounderConsumeLine measures the per-line cost of the incremental
+// lower-bound update — the innermost loop of every ET comparison.
+func BenchmarkBounderConsumeLine(b *testing.B) {
+	cases := []struct {
+		name    string
+		profile string
+		elem    vecmath.ElemType
+	}{
+		{"uint8-128", "SIFT", vecmath.Uint8},
+		{"fp32-960", "GIST", vecmath.Float32},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ds := dataset.Generate(dataset.ProfileByName(tc.profile), 4, 1, 7)
+			dim := len(ds.Vectors[0])
+			sched := layout.SimpleHeuristicSchedule(tc.elem)
+			l := bitplane.MustLayout(tc.elem, dim, sched)
+			bd := bitplane.NewBounder(l, vecmath.L2, 0)
+			bd.ResetQuery(ds.Queries[0])
+			buf := make([]byte, l.VectorBytes())
+			l.Transform(tc.elem.EncodeVector(ds.Vectors[0], nil), buf)
+			lines := l.LinesPerVector()
+			b.SetBytes(int64(l.VectorBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bd.Reset()
+				for ln := 0; ln < lines; ln++ {
+					bd.ConsumeNext(buf[ln*bitplane.LineBytes : (ln+1)*bitplane.LineBytes])
+				}
+			}
+			b.ReportMetric(float64(b.N*lines)/b.Elapsed().Seconds(), "lines/s")
+		})
+	}
+}
+
+// BenchmarkDistanceKernels measures the full-distance kernels for every
+// metric at three representative dimensions.
+func BenchmarkDistanceKernels(b *testing.B) {
+	for _, m := range []vecmath.Metric{vecmath.L2, vecmath.InnerProduct, vecmath.Cosine} {
+		for _, dim := range []int{128, 384, 960} {
+			b.Run(fmt.Sprintf("%v-%d", m, dim), func(b *testing.B) {
+				rng := stats.NewRNG(uint64(dim))
+				x := make([]float32, dim)
+				y := make([]float32, dim)
+				for d := 0; d < dim; d++ {
+					x[d] = float32(rng.Float64())
+					y[d] = float32(rng.Float64())
+				}
+				b.SetBytes(int64(8 * dim))
+				b.ReportAllocs()
+				s := 0.0
+				for i := 0; i < b.N; i++ {
+					s += m.Distance(x, y)
+				}
+				if math.IsNaN(s) {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchAllocs measures one steady-state query on the default
+// database through the allocation-free SearchInto path, reporting
+// allocations per operation (the gated budget: 0 allocs/op).
+func BenchmarkSearchAllocs(b *testing.B) {
+	db := benchDB()
+	ds := benchData()
+	var dst []ansmet.Neighbor
+	// Warm the pools (first search grows the scratch buffers).
+	var err error
+	if dst, err = db.SearchInto(ds.Queries[0], 10, 64, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = db.SearchInto(ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchMany measures parallel batch-search throughput across all
+// cores.
+func BenchmarkSearchMany(b *testing.B) {
+	db := benchDB()
+	ds := benchData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SearchMany(ds.Queries, 10, 64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(ds.Queries))/b.Elapsed().Seconds(), "queries/s")
 }
 
 func BenchmarkDRAMRead(b *testing.B) {

@@ -1,0 +1,195 @@
+// Command ansmet-benchgate parses `go test -bench` output, records the
+// numbers as JSON, and enforces per-benchmark allocation budgets — the CI
+// gate that keeps the hot path allocation-free.
+//
+// Usage:
+//
+//	go test -bench 'SearchAllocs' -benchmem | ansmet-benchgate \
+//	    -out BENCH.json -max-allocs 'BenchmarkSearchAllocs=0'
+//
+// The exit status is non-zero if any budget is exceeded or a budgeted
+// benchmark is missing from the input (a silently skipped gate is a failed
+// gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	HasAllocs  bool               `json:"-"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchgate emits.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// budgetList is a repeatable -max-allocs Name=N flag.
+type budgetList map[string]float64
+
+func (b budgetList) String() string { return fmt.Sprint(map[string]float64(b)) }
+
+func (b budgetList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want Name=N, got %q", s)
+	}
+	n, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad budget %q: %w", s, err)
+	}
+	b[name] = n
+	return nil
+}
+
+func main() {
+	budgets := budgetList{}
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	in := flag.String("in", "", "read benchmark output from this file instead of stdin")
+	flag.Var(budgets, "max-allocs", "fail if benchmark Name exceeds N allocs/op (repeatable, Name=N; matches by prefix so sub-benchmarks are covered)")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fail := false
+	for name, budget := range budgets {
+		matched := false
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, name) {
+				continue
+			}
+			matched = true
+			if !b.HasAllocs {
+				fmt.Fprintf(os.Stderr, "benchgate: %s has no allocs/op column (run with -benchmem)\n", b.Name)
+				fail = true
+				continue
+			}
+			if b.AllocsOp > budget {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: %.1f allocs/op exceeds budget %.1f\n",
+					b.Name, b.AllocsOp, budget)
+				fail = true
+			} else {
+				fmt.Printf("benchgate: %s: %.1f allocs/op within budget %.1f\n",
+					b.Name, b.AllocsOp, budget)
+			}
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "benchgate: budgeted benchmark %q not found in input\n", name)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output: header lines (goos/goarch/cpu) and
+// result lines of the form
+//
+//	BenchmarkName-8   1000   1624120 ns/op   59980 B/op   138 allocs/op
+//
+// with optional extra `value unit` metric pairs (b.ReportMetric).
+func parse(src *os.File) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo \t--- FAIL"
+		}
+		// Names keep their -GOMAXPROCS suffix (when present); budgets match
+		// by prefix, so they are machine independent anyway. Stripping the
+		// suffix here would be ambiguous against sub-benchmark names that
+		// end in a number ("/uint8-128").
+		b := Benchmark{
+			Name:       fields[0],
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsOp = val
+				b.HasAllocs = true
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}

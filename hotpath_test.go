@@ -1,0 +1,96 @@
+// Hot-path allocation gates: the pooled search pipeline must not allocate
+// at steady state. These run as ordinary tests (and in CI's bench job) so a
+// regression fails the build rather than just shifting a benchmark number.
+package ansmet_test
+
+import (
+	"testing"
+
+	"ansmet"
+)
+
+// TestSearchSteadyStateAllocs gates the tentpole property: once the pools
+// are warm, a SearchInto query performs zero heap allocations.
+func TestSearchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	db := benchDB()
+	ds := benchData()
+	var (
+		dst []ansmet.Neighbor
+		err error
+	)
+	// Warm the pools: first queries grow scratch buffers and build the
+	// bounder's lazy per-query contribution tables.
+	for i := 0; i < 4; i++ {
+		if dst, err = db.SearchInto(ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		dst, err = db.SearchInto(ds.Queries[i%len(ds.Queries)], 10, 64, dst)
+		i++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("SearchInto allocates %.1f objects/query at steady state, want 0", avg)
+	}
+}
+
+// TestExactKNNMatchesBruteForce pins the two-phase ExactKNN restructure to
+// byte-identical results against the straightforward reference: pre-filling
+// the heap with the first k exact distances and thresholding from the heap
+// top afterwards must not change a single result bit.
+func TestExactKNNMatchesBruteForce(t *testing.T) {
+	db := benchDB()
+	ds := benchData()
+	for qi := 0; qi < 4; qi++ {
+		nn, _, err := db.ExactSearch(ds.Queries[qi], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: exact distances of every vector, top-k by (dist, id).
+		type pair struct {
+			id   uint32
+			dist float64
+		}
+		best := make([]pair, 0, 11)
+		for id := 0; id < db.Len(); id++ {
+			d := exactDist(db, ds.Queries[qi], uint32(id))
+			p := pair{uint32(id), d}
+			pos := len(best)
+			for pos > 0 && (best[pos-1].dist > p.dist ||
+				(best[pos-1].dist == p.dist && best[pos-1].id > p.id)) {
+				pos--
+			}
+			best = append(best, pair{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = p
+			if len(best) > 10 {
+				best = best[:10]
+			}
+		}
+		if len(nn) != len(best) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(nn), len(best))
+		}
+		for i := range nn {
+			if nn[i].ID != best[i].id || nn[i].Dist != best[i].dist {
+				t.Fatalf("query %d result %d: got (%d, %v), want (%d, %v)",
+					qi, i, nn[i].ID, nn[i].Dist, best[i].id, best[i].dist)
+			}
+		}
+	}
+}
+
+// exactDist computes the quantized-space exact distance the engine reports.
+func exactDist(db *ansmet.Database, q []float32, id uint32) float64 {
+	qq := make([]float32, len(q))
+	for d, x := range q {
+		qq[d] = ansmet.Uint8.Quantize(x)
+	}
+	return ansmet.L2.Distance(qq, db.Vector(id))
+}

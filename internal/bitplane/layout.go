@@ -1,6 +1,7 @@
 package bitplane
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"ansmet/internal/vecmath"
@@ -167,14 +168,22 @@ func putBits(line []byte, off, bits int, v uint32) {
 }
 
 // getBits reads `bits` bits starting at bit offset `off`, MSB first.
+// Hot path of every line consumption: reads one big-endian 64-bit window
+// and shifts the chunk out, falling back to a byte loop only when the
+// window would run past the buffer (chunks never straddle lines, so
+// off+bits <= 8*len(line) always holds; bits <= 32 and off&7 <= 7 keep the
+// chunk inside the 64-bit window).
 func getBits(line []byte, off, bits int) uint32 {
-	var v uint32
-	for i := 0; i < bits; i++ {
-		p := off + i
-		v <<= 1
-		if line[p>>3]&(0x80>>uint(p&7)) != 0 {
-			v |= 1
+	b0 := off >> 3
+	var v uint64
+	if b0+8 <= len(line) {
+		v = binary.BigEndian.Uint64(line[b0:])
+	} else {
+		for i := b0; i < len(line); i++ {
+			v = v<<8 | uint64(line[i])
 		}
+		v <<= uint(8 * (b0 + 8 - len(line)))
 	}
-	return v
+	v <<= uint(off & 7)
+	return uint32(v >> uint(64-bits))
 }

@@ -15,21 +15,32 @@ import (
 // access savings relative to fullLines = Len()×SlotLines().
 func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetched int) {
 	e.StartQuery(q)
-	heap := &maxHeap{}
-	for id := uint32(0); id < uint32(e.store.Len()); id++ {
-		threshold := math.Inf(1)
-		if heap.Len() >= k {
-			threshold = heap.Top().Dist
-		}
-		r := e.Compare(id, threshold)
+	heap := &e.knnHeap
+	heap.Reset()
+	n := uint32(e.store.Len())
+
+	// Phase 1: pre-fill the heap with the first k candidates' exact
+	// distances (threshold ∞ — every Compare is a full fetch and always
+	// accepted, exactly as the generic loop would do while the heap is
+	// short).
+	id := uint32(0)
+	for ; id < n && heap.Len() < k; id++ {
+		r := e.Compare(id, math.Inf(1))
+		linesFetched += r.TotalLines()
+		heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})
+	}
+
+	// Phase 2: the heap is full, so the k-th-best distance is always at the
+	// top — read the threshold straight from it, no branch per candidate.
+	for ; id < n; id++ {
+		r := e.Compare(id, heap.Top().Dist)
 		linesFetched += r.TotalLines()
 		if r.Accepted {
 			heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})
-			if heap.Len() > k {
-				heap.Pop()
-			}
+			heap.Pop()
 		}
 	}
+
 	nn = make([]hnsw.Neighbor, heap.Len())
 	for i := len(nn) - 1; i >= 0; i-- {
 		nn[i] = heap.Pop()
@@ -43,6 +54,7 @@ type maxHeap struct{ items []hnsw.Neighbor }
 
 func (h *maxHeap) Len() int           { return len(h.items) }
 func (h *maxHeap) Top() hnsw.Neighbor { return h.items[0] }
+func (h *maxHeap) Reset()             { h.items = h.items[:0] }
 
 func (h *maxHeap) less(a, b hnsw.Neighbor) bool {
 	if a.Dist != b.Dist {

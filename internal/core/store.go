@@ -138,6 +138,8 @@ type ETEngine struct {
 	// comparisons, accepting the lossy truncated distance — the paper's
 	// Table 5(b) variant that trades accuracy for space.
 	noBackup bool
+	// knnHeap is ExactKNN's reusable result heap (scratch, reset per call).
+	knnHeap maxHeap
 }
 
 var _ engine.Engine = (*ETEngine)(nil)

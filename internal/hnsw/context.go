@@ -1,0 +1,61 @@
+package hnsw
+
+// visitedSet marks visited node ids without per-query allocation or
+// clearing: each slot stores the generation at which it was last marked, and
+// starting a new query just bumps the generation. A full clear happens only
+// on first use, on growth, and on the (once per 4 billion queries)
+// generation wrap.
+type visitedSet struct {
+	gen []uint32
+	cur uint32
+}
+
+// reset prepares the set for a new query over n ids.
+func (v *visitedSet) reset(n int) {
+	if len(v.gen) < n {
+		v.gen = make([]uint32, n)
+		v.cur = 0
+	}
+	v.cur++
+	if v.cur == 0 { // generation wrapped: stale marks could alias
+		clear(v.gen)
+		v.cur = 1
+	}
+}
+
+// testAndSet returns whether id was already marked this query and marks it.
+func (v *visitedSet) testAndSet(id uint32) bool {
+	if v.gen[id] == v.cur {
+		return true
+	}
+	v.gen[id] = v.cur
+	return false
+}
+
+// searchContext bundles the per-query scratch state of a graph traversal:
+// the visited set, the two beam heaps, and the per-hop batch id buffer.
+// Contexts are pooled on the Index so steady-state searches allocate
+// nothing.
+type searchContext struct {
+	vis     visitedSet
+	cand    nheap // min-heap: closest first
+	results nheap // max-heap: worst first
+	ids     []uint32
+}
+
+// getCtx fetches a context from the pool (or makes one) and resets it for a
+// new query. The pool has no New func so that zero-valued pools embedded in
+// snapshot-loaded indexes work identically.
+func (ix *Index) getCtx() *searchContext {
+	c, _ := ix.ctxPool.Get().(*searchContext)
+	if c == nil {
+		c = &searchContext{results: nheap{max: true}}
+	}
+	c.vis.reset(len(ix.vectors))
+	c.cand.Reset()
+	c.results.Reset()
+	c.ids = c.ids[:0]
+	return c
+}
+
+func (ix *Index) putCtx(c *searchContext) { ix.ctxPool.Put(c) }

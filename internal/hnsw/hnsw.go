@@ -10,6 +10,7 @@ package hnsw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ansmet/internal/stats"
 	"ansmet/internal/vecmath"
@@ -51,6 +52,8 @@ type Index struct {
 	neighbors [][][]uint32 // [node][level] -> neighbor ids
 	entry     uint32
 	maxLevel  int
+
+	ctxPool sync.Pool // *searchContext, see context.go
 }
 
 // Build constructs the index over the vectors with the given metric.
@@ -80,8 +83,12 @@ func Build(vectors [][]float32, metric vecmath.Metric, cfg Config) (*Index, erro
 	return ix, nil
 }
 
+// dist is the construction-time comparison-space distance. Construction
+// only ever compares these values against each other, so the sqrt-free
+// squared kernel (a strictly monotone transform of the true distance) gives
+// the same orderings cheaper.
 func (ix *Index) dist(a uint32, q []float32) float64 {
-	return ix.metric.Distance(q, ix.vectors[a])
+	return ix.metric.SquaredDistance(q, ix.vectors[a])
 }
 
 // insert adds node id to the graph (its level is already assigned).
@@ -139,9 +146,11 @@ func (ix *Index) greedyLayer(q []float32, cur uint32, curDist float64, level int
 
 // searchLayerExact is the construction-time beam search (always exact).
 func (ix *Index) searchLayerExact(q []float32, eps []Neighbor, ef, level int) []Neighbor {
-	visited := newBitset(len(ix.vectors))
-	cand := &nheap{}             // min-heap: closest first
-	results := &nheap{max: true} // max-heap: worst first
+	ctx := ix.getCtx()
+	defer ix.putCtx(ctx)
+	visited := &ctx.vis
+	cand := &ctx.cand
+	results := &ctx.results
 	for _, ep := range eps {
 		if visited.testAndSet(ep.ID) {
 			continue
@@ -194,7 +203,7 @@ func (ix *Index) selectHeuristic(q []float32, cands []Neighbor, m int) []Neighbo
 		}
 		good := true
 		for _, s := range out {
-			if ix.metric.Distance(ix.vectors[c.ID], ix.vectors[s.ID]) < c.Dist {
+			if ix.metric.SquaredDistance(ix.vectors[c.ID], ix.vectors[s.ID]) < c.Dist {
 				good = false
 				break
 			}
@@ -237,7 +246,7 @@ func (ix *Index) connect(src, dst uint32, level int) {
 	if len(lst) > ix.cfg.MaxDegree {
 		cands := make([]Neighbor, len(lst))
 		for i, n := range lst {
-			cands[i] = Neighbor{ID: n, Dist: ix.metric.Distance(ix.vectors[src], ix.vectors[n])}
+			cands[i] = Neighbor{ID: n, Dist: ix.metric.SquaredDistance(ix.vectors[src], ix.vectors[n])}
 		}
 		sortNeighbors(cands)
 		sel := ix.selectHeuristic(ix.vectors[src], cands, ix.cfg.MaxDegree)
@@ -264,17 +273,4 @@ func sortNeighbors(ns []Neighbor) {
 			ns[j], ns[j-1] = ns[j-1], ns[j]
 		}
 	}
-}
-
-// bitset is a simple visited set.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-// testAndSet returns the previous value of bit id and sets it.
-func (b bitset) testAndSet(id uint32) bool {
-	w, m := id>>6, uint64(1)<<(id&63)
-	old := b[w]&m != 0
-	b[w] |= m
-	return old
 }

@@ -19,6 +19,17 @@ func (ix *Index) Search(q []float32, k, ef int, eng engine.Engine, rec *trace.Qu
 	return ix.SearchBatched(q, k, ef, 1, eng, rec)
 }
 
+// SearchInto is Search appending into dst[:0]; with a dst of sufficient
+// capacity and a nil rec the steady-state search allocates nothing.
+func (ix *Index) SearchInto(q []float32, k, ef int, eng engine.Engine, rec *trace.Query, dst []Neighbor) []Neighbor {
+	return ix.SearchFilteredInto(q, k, ef, 1, nil, eng, rec, dst)
+}
+
+// SearchBatchedInto is SearchBatched appending into dst[:0].
+func (ix *Index) SearchBatchedInto(q []float32, k, ef, batch int, eng engine.Engine, rec *trace.Query, dst []Neighbor) []Neighbor {
+	return ix.SearchFilteredInto(q, k, ef, batch, nil, eng, rec, dst)
+}
+
 // SearchBatched is Search with delayed synchronization: up to batch
 // candidates are popped from the search set per hop and their unvisited
 // neighbors offloaded as one comparison batch. Batching reduces the number
@@ -36,6 +47,19 @@ func (ix *Index) SearchBatched(q []float32, k, ef, batch int, eng engine.Engine,
 // are unchanged; note that with a filter the rejection thresholds derive
 // from matching results only, so they tighten more slowly.
 func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query) []Neighbor {
+	return ix.SearchFilteredInto(q, k, ef, batch, filter, eng, rec, nil)
+}
+
+// alwaysAccept is the nil-filter default (a package-level func value, so
+// substituting it never allocates a closure).
+var alwaysAccept = func(uint32) bool { return true }
+
+// SearchFilteredInto is SearchFiltered appending results into dst[:0]. The
+// traversal scratch state (visited set, beam heaps, batch buffer) comes from
+// a per-index pool, and all trace bookkeeping is skipped when rec is nil, so
+// a steady-state search with a reused dst and nil rec performs zero heap
+// allocations (enforced by TestSearchSteadyStateAllocs).
+func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query, dst []Neighbor) []Neighbor {
 	if ef < k {
 		ef = k
 	}
@@ -43,17 +67,19 @@ func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint3
 		batch = 1
 	}
 	if filter == nil {
-		filter = func(uint32) bool { return true }
+		filter = alwaysAccept
 	}
 	eng.StartQuery(q)
 
 	// Entry comparison (threshold ∞: always accepted, full fetch).
 	entryRes := eng.Compare(ix.entry, math.Inf(1))
-	rec.AddHop(trace.Hop{
-		Level:   ix.maxLevel,
-		Tasks:   []trace.Task{{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes}},
-		HostOps: 2,
-	})
+	if rec != nil {
+		rec.AddHop(trace.Hop{
+			Level:   ix.maxLevel,
+			Tasks:   []trace.Task{{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes}},
+			HostOps: 2,
+		})
+	}
 	cur := ix.entry
 	curDist := entryRes.Dist
 
@@ -64,44 +90,54 @@ func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint3
 			if len(nbs) == 0 {
 				break
 			}
-			hop := trace.Hop{Level: l, HostOps: 1 + len(nbs)}
+			var hop trace.Hop
+			if rec != nil {
+				hop = trace.Hop{Level: l, HostOps: 1 + len(nbs)}
+			}
 			improved := false
 			for _, nb := range nbs {
 				res := eng.Compare(nb, curDist)
-				hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: curDist, Result: res})
+				if rec != nil {
+					hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: curDist, Result: res})
+				}
 				if res.Accepted && res.Dist < curDist {
 					cur, curDist = nb, res.Dist
 					improved = true
 				}
 			}
-			rec.AddHop(hop)
+			if rec != nil {
+				rec.AddHop(hop)
+			}
 			if !improved {
 				break
 			}
 		}
 	}
 
-	// Beam search on the base layer.
-	visited := newBitset(len(ix.vectors))
+	// Beam search on the base layer, over pooled scratch state.
+	ctx := ix.getCtx()
+	defer ix.putCtx(ctx)
+	visited := &ctx.vis
 	visited.testAndSet(cur)
 	// Mark upper-layer visits too so they are not re-fetched; the entry
 	// point was already compared.
 	visited.testAndSet(ix.entry)
 
-	cand := &nheap{}
-	results := &nheap{max: true}
+	cand := &ctx.cand
+	results := &ctx.results
 	start := Neighbor{ID: cur, Dist: curDist}
 	cand.Push(start)
 	if filter(start.ID) {
 		results.Push(start)
 	}
+	ids := ctx.ids
 
 	for cand.Len() > 0 {
 		// Pop up to `batch` candidates. If the very first pop is already
 		// beyond the result set's worst distance the search has converged;
 		// later pops beyond it are merely discarded (they would never be
 		// expanded by the sequential algorithm either).
-		var ids []uint32
+		ids = ids[:0]
 		converged := false
 		for popped := 0; popped < batch && cand.Len() > 0; popped++ {
 			c := cand.Pop()
@@ -127,10 +163,15 @@ func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint3
 		if results.Len() >= ef {
 			threshold = results.Top().Dist
 		}
-		hop := trace.Hop{Level: 0, HostOps: 2 + 2*len(ids)}
+		var hop trace.Hop
+		if rec != nil {
+			hop = trace.Hop{Level: 0, HostOps: 2 + 2*len(ids)}
+		}
 		for _, nb := range ids {
 			res := eng.Compare(nb, threshold)
-			hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: threshold, Result: res})
+			if rec != nil {
+				hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: threshold, Result: res})
+			}
 			if res.Accepted {
 				n := Neighbor{ID: nb, Dist: res.Dist}
 				cand.Push(n)
@@ -142,11 +183,18 @@ func (ix *Index) SearchFiltered(q []float32, k, ef, batch int, filter func(uint3
 				}
 			}
 		}
-		rec.AddHop(hop)
+		if rec != nil {
+			rec.AddHop(hop)
+		}
 	}
+	ctx.ids = ids // keep any capacity growth for the next query
 
-	out := make([]Neighbor, results.Len())
-	for i := len(out) - 1; i >= 0; i-- {
+	n := results.Len()
+	out := dst[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, Neighbor{})
+	}
+	for i := n - 1; i >= 0; i-- {
 		out[i] = results.Pop()
 	}
 	if len(out) > k {

@@ -121,7 +121,9 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 		}
 		return order[i].c < order[j].c
 	})
-	rec.AddHop(trace.Hop{Level: -1, HostOps: 2 * len(ix.centroids)})
+	if rec != nil {
+		rec.AddHop(trace.Hop{Level: -1, HostOps: 2 * len(ix.centroids)})
+	}
 
 	results := &maxHeap{}
 	for p := 0; p < nprobe; p++ {
@@ -133,10 +135,15 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 		if results.Len() >= ef {
 			threshold = results.Top().Dist
 		}
-		hop := trace.Hop{Level: -1, HostOps: 1 + 2*len(members)}
+		var hop trace.Hop
+		if rec != nil {
+			hop = trace.Hop{Level: -1, HostOps: 1 + 2*len(members)}
+		}
 		for _, id := range members {
 			res := eng.Compare(id, threshold)
-			hop.Tasks = append(hop.Tasks, trace.Task{ID: id, Threshold: threshold, Result: res})
+			if rec != nil {
+				hop.Tasks = append(hop.Tasks, trace.Task{ID: id, Threshold: threshold, Result: res})
+			}
 			if res.Accepted {
 				results.Push(hnsw.Neighbor{ID: id, Dist: res.Dist})
 				if results.Len() > ef {
@@ -144,7 +151,9 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 				}
 			}
 		}
-		rec.AddHop(hop)
+		if rec != nil {
+			rec.AddHop(hop)
+		}
 	}
 
 	out := make([]hnsw.Neighbor, results.Len())

@@ -115,13 +115,10 @@ func Run(vectors [][]float32, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// sqDist routes through the unrolled blocked kernel; squared space is all
+// Lloyd iterations ever compare in.
 func sqDist(a, b []float32) float64 {
-	s := 0.0
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return s
+	return vecmath.SquaredL2(a, b)
 }
 
 // ETAssigner assigns vectors to their exact nearest centroid while fetching
@@ -134,6 +131,7 @@ type ETAssigner struct {
 	data      []byte
 	centroids [][]float32
 	bounder   *bitplane.Bounder
+	qbuf      []float32 // reusable quantized-query buffer
 }
 
 // NewETAssigner encodes the centroids into the simple heuristic ET layout.
@@ -170,7 +168,10 @@ func NewETAssigner(centroids [][]float32, elem vecmath.ElemType) (*ETAssigner, e
 // the number of 64 B lines fetched; a full scan costs
 // len(centroids)×LinesPerVector.
 func (a *ETAssigner) Assign(v []float32) (best int, dist float64, lines int) {
-	q := make([]float32, len(v))
+	if cap(a.qbuf) < len(v) {
+		a.qbuf = make([]float32, len(v))
+	}
+	q := a.qbuf[:len(v)]
 	for d, x := range v {
 		q[d] = a.elem.Quantize(x)
 	}

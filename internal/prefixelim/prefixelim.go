@@ -299,13 +299,18 @@ type OutlierBounder struct {
 	metric  vecmath.Metric
 	query   []float32
 	contrib []float64
-	// sum is Σ contrib, recomputed fresh after every consumed line (see
-	// bitplane.Bounder: fresh summation avoids the catastrophic
+	// blockSum holds the per-block subtotals of contrib (blocks of
+	// vecmath.BlockDims dimensions); a consumed line refreshes only the
+	// touched blocks.
+	blockSum []float64
+	// sum is the total over blockSum, recomputed fresh after every consumed
+	// line (see bitplane.Bounder: fresh summation avoids the catastrophic
 	// cancellation that transiently-huge IP contributions would cause in an
 	// incremental sum). Infinite contributions propagate to sum naturally.
 	sum     float64
 	next    int
 	initC   []float64
+	initBlk []float64
 	initSum float64
 
 	slotW, perLine, lines int
@@ -313,8 +318,10 @@ type OutlierBounder struct {
 
 // NewOutlierBounder builds a bounder; call ResetQuery before use.
 func NewOutlierBounder(cfg Config, m vecmath.Metric) *OutlierBounder {
+	nblk := (cfg.Dim + vecmath.BlockDims - 1) / vecmath.BlockDims
 	b := &OutlierBounder{cfg: cfg, metric: m,
-		contrib: make([]float64, cfg.Dim), initC: make([]float64, cfg.Dim)}
+		contrib: make([]float64, cfg.Dim), initC: make([]float64, cfg.Dim),
+		blockSum: make([]float64, nblk), initBlk: make([]float64, nblk)}
 	b.slotW, b.perLine, b.lines = cfg.outlierGeometry()
 	return b
 }
@@ -326,11 +333,18 @@ func (b *OutlierBounder) ResetQuery(query []float32) {
 	}
 	b.query = query
 	lo, hi := b.cfg.Elem.FullRange()
-	b.initSum = 0
 	for d := range b.initC {
-		c := b.dimContrib(float64(query[d]), lo, hi)
-		b.initC[d] = c
-		b.initSum += c
+		b.initC[d] = b.dimContrib(float64(query[d]), lo, hi)
+	}
+	b.initSum = 0
+	for k := range b.initBlk {
+		first := k * vecmath.BlockDims
+		last := first + vecmath.BlockDims
+		if last > b.cfg.Dim {
+			last = b.cfg.Dim
+		}
+		b.initBlk[k] = vecmath.BlockSum(b.initC[first:last])
+		b.initSum += b.initBlk[k]
 	}
 	b.Reset()
 }
@@ -338,6 +352,7 @@ func (b *OutlierBounder) ResetQuery(query []float32) {
 // Reset prepares for a new vector under the same query.
 func (b *OutlierBounder) Reset() {
 	copy(b.contrib, b.initC)
+	copy(b.blockSum, b.initBlk)
 	b.sum = b.initSum
 	b.next = 0
 }
@@ -370,9 +385,19 @@ func (b *OutlierBounder) ConsumeNext(line []byte) float64 {
 		lo, hi := b.cfg.Elem.Interval(prefix, known)
 		b.contrib[d] = b.dimContrib(float64(b.query[d]), lo, hi)
 	}
+	// Blocked bound update: refresh touched block subtotals, re-total the
+	// blocks (fresh at both levels, as in bitplane.Bounder).
+	for k := first / vecmath.BlockDims; k <= (last-1)/vecmath.BlockDims; k++ {
+		lo := k * vecmath.BlockDims
+		hi := lo + vecmath.BlockDims
+		if hi > b.cfg.Dim {
+			hi = b.cfg.Dim
+		}
+		b.blockSum[k] = vecmath.BlockSum(b.contrib[lo:hi])
+	}
 	sum := 0.0
-	for _, c := range b.contrib {
-		sum += c
+	for _, s := range b.blockSum {
+		sum += s
 	}
 	b.sum = sum
 	b.next++

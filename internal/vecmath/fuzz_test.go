@@ -1,6 +1,7 @@
 package vecmath
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 )
@@ -62,6 +63,98 @@ func FuzzIntervalContains(f *testing.F) {
 			lo, hi := et.Interval(code>>uint(w-known), known)
 			if float64(q) < lo || float64(q) > hi {
 				t.Fatalf("%v: %v outside [%v,%v] with %d known bits", et, q, lo, hi, known)
+			}
+		}
+	})
+}
+
+// refSquaredL2 composes the canonical reduction from BlockSum the way
+// kernels.go documents it: per-dimension terms, BlockSum per block, block
+// subtotals left to right. The unrolled SquaredL2 must match it bitwise.
+func refSquaredL2(a, b []float32) float64 {
+	terms := make([]float64, len(a))
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		terms[i] = d * d
+	}
+	return BlockedSum(terms)
+}
+
+func refDot(a, b []float32) float64 {
+	terms := make([]float64, len(a))
+	for i := range a {
+		terms[i] = float64(a[i]) * float64(b[i])
+	}
+	return BlockedSum(terms)
+}
+
+// FuzzKernelsMatchReference fuzzes the bitwise contract between the
+// unrolled distance kernels and the scalar reference reduction, for every
+// element type (the values a kernel can ever see are quantized ones). Any
+// drift here would break DESIGN.md invariant 3: the bounder's blocked
+// partial sums are only bitwise-equal to the exact distance because both
+// sides reduce in this one canonical order.
+func FuzzKernelsMatchReference(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add(make([]byte, 200), []byte{0xff, 0x80, 0x01, 0x7f, 0x00, 0xc0})
+	f.Add([]byte{0x42, 0x28, 0x00, 0x00, 0xc2, 0x28, 0x00, 0x00}, []byte{0x3f, 0x80, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		// Decode both byte strings as float32 streams over a common length
+		// (dimension intentionally not a multiple of the block size in most
+		// runs, to exercise the tail path).
+		n := len(ra) / 4
+		if m := len(rb) / 4; m < n {
+			n = m
+		}
+		if n == 0 {
+			t.Skip()
+		}
+		raw := func(src []byte, i int) float32 {
+			return math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+		for _, et := range []ElemType{Uint8, Int8, Float16, BFloat16, Float32} {
+			a := make([]float32, n)
+			b := make([]float32, n)
+			ok := true
+			for i := 0; i < n; i++ {
+				x, y := raw(ra, i), raw(rb, i)
+				if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) ||
+					math.IsNaN(float64(y)) || math.IsInf(float64(y), 0) {
+					ok = false
+					break
+				}
+				a[i], b[i] = et.Quantize(x), et.Quantize(y)
+				if math.IsInf(float64(a[i]), 0) || math.IsInf(float64(b[i]), 0) {
+					ok = false // fp16 overflow saturates to Inf
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if got, want := SquaredL2(a, b), refSquaredL2(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v dim %d: SquaredL2 = %v (%#x), reference %v (%#x)",
+					et, n, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if got, want := Dot(a, b), refDot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v dim %d: Dot = %v (%#x), reference %v (%#x)",
+					et, n, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			// Distance/SquaredDistance derivations stay consistent with the
+			// kernels for every metric.
+			if got, want := L2.Distance(a, b), math.Sqrt(SquaredL2(a, b)); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v dim %d: L2.Distance = %v, want sqrt(SquaredL2) = %v", et, n, got, want)
+			}
+			if got, want := L2.SquaredDistance(a, b), SquaredL2(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v dim %d: L2.SquaredDistance = %v, want %v", et, n, got, want)
+			}
+			for _, m := range []Metric{InnerProduct, Cosine} {
+				if got, want := m.Distance(a, b), -Dot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%v dim %d: %v.Distance = %v, want -Dot = %v", et, n, m, got, want)
+				}
+				if got, want := m.SquaredDistance(a, b), m.Distance(a, b); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%v dim %d: %v.SquaredDistance = %v, want Distance = %v", et, n, m, got, want)
+				}
 			}
 		}
 	})

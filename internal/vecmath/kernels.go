@@ -1,0 +1,144 @@
+// Distance kernels for the query hot path.
+//
+// Every distance-like quantity in the hot path (exact kernels, the
+// incremental bounder's partial sums, kmeans assignment) is accumulated in
+// ONE canonical order so that results are bitwise reproducible across code
+// paths: dimensions are grouped into fixed blocks of BlockDims, each block
+// is reduced with a 4-lane unrolled sum (BlockSum), and the per-block
+// subtotals are added left to right. The unrolled kernels below inline the
+// exact same association pattern — the fuzz tests in fuzz_test.go assert
+// bitwise agreement between the inlined kernels and a reference built by
+// composing BlockSum, which is what lets bitplane.Bounder's blocked partial
+// sums stay bitwise equal to the exact distance once a vector is fully
+// fetched (DESIGN.md, "Hot-path performance").
+package vecmath
+
+import "fmt"
+
+// BlockDims is the number of dimensions per summation block. 16 float64
+// subtotals fit in two cache lines, and a 16-term block is enough for the
+// 4-lane unroll to hide the FP add latency chain; bitplane.Bounder uses the
+// same constant for its per-block running subtotals.
+const BlockDims = 16
+
+// BlockSum reduces up to BlockDims terms in the canonical block order: four
+// independent accumulator lanes over strided terms for a full block, a
+// plain left-to-right sum for a partial tail block. This is the ONLY
+// reduction order hot-path code may use for distance contributions.
+func BlockSum(terms []float64) float64 {
+	if len(terms) == BlockDims {
+		var s0, s1, s2, s3 float64
+		for i := 0; i < BlockDims; i += 4 {
+			s0 += terms[i]
+			s1 += terms[i+1]
+			s2 += terms[i+2]
+			s3 += terms[i+3]
+		}
+		return (s0 + s1) + (s2 + s3)
+	}
+	s := 0.0
+	for _, t := range terms {
+		s += t
+	}
+	return s
+}
+
+// BlockedSum reduces an arbitrary-length term slice the way the hot path
+// does: BlockSum per BlockDims-sized block, block subtotals added left to
+// right. Reference composition for tests and non-critical callers.
+func BlockedSum(terms []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(terms); i += BlockDims {
+		end := i + BlockDims
+		if end > len(terms) {
+			end = len(terms)
+		}
+		total += BlockSum(terms[i:end])
+	}
+	return total
+}
+
+// SquaredL2 computes sum((a_i-b_i)^2) in float64 with the canonical blocked
+// reduction, 4-way unrolled. It is the sqrt-free comparison kernel: for
+// ordering candidates, comparing squared distances is equivalent to (and
+// cheaper than) comparing Euclidean distances.
+func SquaredL2(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	total := 0.0
+	i := 0
+	for ; i+BlockDims <= n; i += BlockDims {
+		va := a[i : i+BlockDims : i+BlockDims]
+		vb := b[i : i+BlockDims : i+BlockDims]
+		var s0, s1, s2, s3 float64
+		for j := 0; j < BlockDims; j += 4 {
+			d0 := float64(va[j]) - float64(vb[j])
+			d1 := float64(va[j+1]) - float64(vb[j+1])
+			d2 := float64(va[j+2]) - float64(vb[j+2])
+			d3 := float64(va[j+3]) - float64(vb[j+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		total += (s0 + s1) + (s2 + s3)
+	}
+	if i < n {
+		tail := 0.0
+		for ; i < n; i++ {
+			d := float64(a[i]) - float64(b[i])
+			tail += d * d
+		}
+		total += tail
+	}
+	return total
+}
+
+// Dot computes sum(a_i*b_i) in float64 with the canonical blocked
+// reduction, 4-way unrolled. The inner-product distance is its negation.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	total := 0.0
+	i := 0
+	for ; i+BlockDims <= n; i += BlockDims {
+		va := a[i : i+BlockDims : i+BlockDims]
+		vb := b[i : i+BlockDims : i+BlockDims]
+		var s0, s1, s2, s3 float64
+		for j := 0; j < BlockDims; j += 4 {
+			s0 += float64(va[j]) * float64(vb[j])
+			s1 += float64(va[j+1]) * float64(vb[j+1])
+			s2 += float64(va[j+2]) * float64(vb[j+2])
+			s3 += float64(va[j+3]) * float64(vb[j+3])
+		}
+		total += (s0 + s1) + (s2 + s3)
+	}
+	if i < n {
+		tail := 0.0
+		for ; i < n; i++ {
+			tail += float64(a[i]) * float64(b[i])
+		}
+		total += tail
+	}
+	return total
+}
+
+// SquaredDistance computes the metric's comparison-space distance, skipping
+// the final sqrt for L2: a strictly monotone transform of Distance, so any
+// ordering or threshold test done consistently in squared space matches the
+// same test in distance space. For IP/cosine it equals Distance (already
+// sqrt-free).
+func (m Metric) SquaredDistance(a, b []float32) float64 {
+	switch m {
+	case L2:
+		return SquaredL2(a, b)
+	case InnerProduct, Cosine:
+		return -Dot(a, b)
+	default:
+		panic("vecmath: unknown Metric")
+	}
+}

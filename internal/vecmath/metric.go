@@ -32,25 +32,17 @@ func (m Metric) String() string {
 	return metricNames[m]
 }
 
-// Distance computes the full distance between two equal-length vectors.
+// Distance computes the full distance between two equal-length vectors
+// using the unrolled blocked kernels (kernels.go). The summation order is
+// the canonical blocked reduction, so Distance is bitwise consistent with
+// every other hot-path accumulation (in particular the fully-fetched
+// bitplane.Bounder bound).
 func (m Metric) Distance(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(a), len(b)))
-	}
 	switch m {
 	case L2:
-		s := 0.0
-		for i := range a {
-			d := float64(a[i]) - float64(b[i])
-			s += d * d
-		}
-		return math.Sqrt(s)
+		return math.Sqrt(SquaredL2(a, b))
 	case InnerProduct, Cosine:
-		s := 0.0
-		for i := range a {
-			s += float64(a[i]) * float64(b[i])
-		}
-		return -s
+		return -Dot(a, b)
 	default:
 		panic("vecmath: unknown Metric")
 	}
@@ -111,24 +103,26 @@ func IPIntervalUpper(q, lo, hi float64) float64 {
 // per-dimension value intervals for the partially known vector. For L2 the
 // result is sqrt of the summed minimal squared diffs; for IP it is the
 // negated sum of maximal products. The bound is tight when every interval
-// is a point (it then equals the exact distance).
+// is a point (it then equals the exact distance — bitwise, because the
+// contributions are reduced in the same canonical blocked order the
+// distance kernels use). Reference implementation; the hot path is
+// bitplane.Bounder's incremental version.
 func LowerBoundFromIntervals(m Metric, q []float32, lo, hi []float64) float64 {
 	if len(q) != len(lo) || len(q) != len(hi) {
 		panic("vecmath: interval length mismatch")
 	}
+	contrib := make([]float64, len(q))
 	switch m {
 	case L2:
-		s := 0.0
 		for i := range q {
-			s += L2IntervalContrib(float64(q[i]), lo[i], hi[i])
+			contrib[i] = L2IntervalContrib(float64(q[i]), lo[i], hi[i])
 		}
-		return math.Sqrt(s)
+		return math.Sqrt(BlockedSum(contrib))
 	case InnerProduct, Cosine:
-		s := 0.0
 		for i := range q {
-			s += IPIntervalUpper(float64(q[i]), lo[i], hi[i])
+			contrib[i] = IPIntervalUpper(float64(q[i]), lo[i], hi[i])
 		}
-		return -s
+		return -BlockedSum(contrib)
 	default:
 		panic("vecmath: unknown Metric")
 	}
