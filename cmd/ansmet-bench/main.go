@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ansmet-bench [-quick] [-exp fig1,fig6,table5] [-k 10]
+//	ansmet-bench [-quick] [-exp fig1,fig6,table5] [-k 10] [-parallel N]
 //
 // With no -exp, every experiment runs in paper order.
 package main
@@ -25,13 +25,14 @@ func main() {
 	exp := flag.String("exp", "all",
 		"comma-separated experiments: fig1,fig3,fig6,fig7,fig8,fig9,fig10,fig11,fig12,table3,table4,table5,replication,ablation-batch,ablation-quant")
 	ks := flag.String("k", "1,5,10", "result counts for fig6")
+	parallel := flag.Int("parallel", 0, "experiment cell workers (0 = GOMAXPROCS); tables are identical at any setting")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
 	if *quick {
 		scale = experiments.QuickScale()
 	}
-	r := experiments.NewRunner(scale)
+	r := experiments.NewRunner(scale).Parallel(*parallel)
 
 	var fig6Ks []int
 	for _, s := range strings.Split(*ks, ",") {

@@ -40,6 +40,7 @@ func main() {
 	pollNs := flag.Float64("pollns", 100, "conventional polling interval (ns)")
 	batch := flag.Int("batch", 8, "delayed-synchronization beam batch")
 	seed := flag.Uint64("seed", 2025, "generator seed")
+	parallel := flag.Int("parallel", 0, "functional-search workers (0 = GOMAXPROCS); output is identical at any setting")
 	flag.Parse()
 
 	var design core.Design
@@ -92,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run := sys.RunHNSW(ds.Queries, *k, *ef)
+	run := sys.RunHNSWParallel(ds.Queries, *k, *ef, *parallel)
 	var traces []*trace.Query
 	for len(traces) < *stream {
 		traces = append(traces, run.Traces...)
@@ -108,7 +109,7 @@ func main() {
 
 	hops, tasks, lines := 0, 0, 0
 	for _, tr := range run.Traces {
-		hops += len(tr.Hops)
+		hops += tr.NumHops()
 		tasks += tr.TotalTasks()
 		lines += tr.TotalLines()
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"ansmet/internal/bitplane"
@@ -352,4 +353,37 @@ func TestEnginePerWorkerIndependence(t *testing.T) {
 		t.Error("engines interfere through shared state")
 	}
 	_ = stats.NewRNG // keep import when build tags change
+}
+
+// TestRunHNSWParallelMatchesSerial pins the parallel runner's determinism
+// contract: fanning the functional searches over worker-private engines must
+// reproduce the serial RunHNSW bit for bit — same results, same traces, and
+// therefore the same timing report from the single ordered replay.
+func TestRunHNSWParallelMatchesSerial(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 600, 24, 17)
+	ix, err := hnsw.Build(ds.Vectors, p.Metric, hnsw.Config{M: 8, MaxDegree: 16, EfConstruction: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Design{CPUBase, NDPBase, NDPETOpt} {
+		cfg := DefaultSystemConfig(d)
+		cfg.SampleSize = 60
+		sys, err := NewSystem(ds.Vectors, p.Elem, p.Metric, ix, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		serial := sys.RunHNSW(ds.Queries, 10, 40)
+		par := sys.RunHNSWParallel(ds.Queries, 10, 40, 4)
+		if !reflect.DeepEqual(serial.Results, par.Results) {
+			t.Errorf("%v: parallel results diverge from serial", d)
+		}
+		if !reflect.DeepEqual(serial.Traces, par.Traces) {
+			t.Errorf("%v: parallel traces diverge from serial", d)
+		}
+		if !reflect.DeepEqual(serial.Report, par.Report) {
+			t.Errorf("%v: parallel report diverges from serial:\n got: %+v\nwant: %+v",
+				d, par.Report, serial.Report)
+		}
+	}
 }

@@ -103,10 +103,8 @@ func TestBackupLinesReachTimingModel(t *testing.T) {
 	run := sys.RunHNSW(ds.Queries, 10, 60)
 	backups := 0
 	for _, q := range run.Traces {
-		for _, h := range q.Hops {
-			for _, task := range h.Tasks {
-				backups += task.Result.BackupLines
-			}
+		for _, task := range q.Tasks() {
+			backups += task.Result.BackupLines
 		}
 	}
 	if backups == 0 {

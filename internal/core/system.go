@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ansmet/internal/bitplane"
@@ -119,6 +122,12 @@ type System struct {
 	Faults   *engine.Counters
 
 	vectors [][]float32
+
+	// mu serializes runs on this System: the shared Engine keeps per-query
+	// scratch and is not safe for concurrent use, and the parallel
+	// experiment pipeline may dispatch several cells against one cached
+	// System at once.
+	mu sync.Mutex
 }
 
 // NewSystem preprocesses the dataset for the configured design. The index
@@ -306,6 +315,8 @@ type RunResult struct {
 // RunHNSW executes the queries functionally on the HNSW index (recording
 // traces) and replays them on the timing model.
 func (s *System) RunHNSW(queries [][]float32, k, ef int) *RunResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	batch := s.Cfg.BeamBatch
 	if batch < 1 {
 		batch = 1
@@ -323,9 +334,63 @@ func (s *System) RunHNSW(queries [][]float32, k, ef int) *RunResult {
 	return out
 }
 
+// RunHNSWParallel is RunHNSW with the functional searches fanned out over a
+// bounded worker pool, each worker owning a private engine (NewWorkerEngine).
+// Results and traces keep query order and the single timing replay runs over
+// the ordered traces, so the RunResult is bit-identical to RunHNSW's: engines
+// are deterministic and carry only per-query scratch, making each query's
+// trace independent of which worker serves it. workers <= 0 defaults to
+// GOMAXPROCS. With fault injection enabled the injection sequence depends on
+// the global comparison order, so the run falls back to the serial path to
+// stay deterministic.
+func (s *System) RunHNSWParallel(queries [][]float32, k, ef, workers int) *RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 || s.Faults != nil {
+		return s.RunHNSW(queries, k, ef)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := s.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	out := &RunResult{
+		Results: make([][]hnsw.Neighbor, len(queries)),
+		Traces:  make([]*trace.Query, len(queries)),
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := s.NewWorkerEngine()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				rec := &trace.Query{}
+				out.Results[i] = s.Index.SearchBatched(queries[i], k, ef, batch, eng, rec)
+				out.Traces[i] = rec
+			}
+		}()
+	}
+	wg.Wait()
+	out.Report = sim.Run(s.SimCfg, out.Traces)
+	return out
+}
+
 // RunIVF executes the queries against an IVF index built over the same
 // vectors, using this system's engine and timing model.
 func (s *System) RunIVF(ix *ivf.Index, queries [][]float32, k, ef, nprobe int) *RunResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	base, baseInj := s.resilienceBaseline()
 	out := &RunResult{}
 	for _, q := range queries {

@@ -142,6 +142,33 @@ func New(cfg Config) *Memory {
 // Config returns the topology.
 func (m *Memory) Config() Config { return m.cfg }
 
+// Reset returns the memory system to its initial state (all banks closed,
+// buses idle, counters zeroed) without reallocating the bank and bus
+// structures. Pooled replay states use it to reuse one Memory across
+// simulator runs with the same topology.
+func (m *Memory) Reset() {
+	for r := range m.banks {
+		bs := m.banks[r]
+		for i := range bs {
+			bs[i] = bank{openRow: -1}
+		}
+	}
+	for _, b := range m.rankBus {
+		b.reset()
+	}
+	for _, b := range m.chBus {
+		b.reset()
+	}
+	rr, rb := m.stats.RankReads, m.stats.RankBusyNs
+	for i := range rr {
+		rr[i] = 0
+	}
+	for i := range rb {
+		rb[i] = 0
+	}
+	m.stats = Stats{RankReads: rr, RankBusyNs: rb}
+}
+
 // ChannelOf maps a rank to its channel.
 func (m *Memory) ChannelOf(rank int) int {
 	return rank / (m.cfg.DIMMsPerChannel * m.cfg.RanksPerDIMM)

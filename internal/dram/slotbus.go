@@ -69,6 +69,13 @@ func (b *slotBus) compact(keepFrom int32) {
 	b.base += int64(keepFrom)
 }
 
+// reset returns the bus to its initial empty state, retaining the slot
+// array's capacity for reuse.
+func (b *slotBus) reset() {
+	b.base = 0
+	b.next = b.next[:0]
+}
+
 // alloc reserves n contiguous subslots at or after time t and returns the
 // start time of the reservation.
 func (b *slotBus) alloc(t float64, n int) float64 {

@@ -8,9 +8,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ansmet/internal/core"
@@ -123,81 +125,150 @@ type workload struct {
 	buildSeconds float64
 }
 
-// Runner owns the cached workloads for one Scale.
+// Runner owns the cached workloads for one Scale. A Runner is safe for
+// concurrent use; cache entries are built single-flight (two cells asking
+// for the same dataset or system never build it twice, and neither blocks
+// unrelated builds).
 type Runner struct {
 	Scale Scale
 
+	// workers bounds the per-generator cell parallelism; <= 1 runs cells
+	// serially (the default). Set via Parallel.
+	workers int
+
 	mu       sync.Mutex
-	cache    map[string]*workload
-	sysCache map[string]*core.System
+	cache    map[string]*wEntry
+	sysCache map[string]*sysEntry
+}
+
+// wEntry is a single-flight workload cache slot: the entry is published
+// under the Runner mutex, the build runs once under the entry's own Once.
+type wEntry struct {
+	once sync.Once
+	w    *workload
+}
+
+type sysEntry struct {
+	once sync.Once
+	sys  *core.System
 }
 
 // NewRunner creates an experiment runner.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, cache: map[string]*workload{}, sysCache: map[string]*core.System{}}
+	return &Runner{Scale: s, cache: map[string]*wEntry{}, sysCache: map[string]*sysEntry{}}
+}
+
+// Parallel sets the cell worker count for subsequent generator calls and
+// returns the Runner. n <= 0 selects GOMAXPROCS. Generators produce the
+// same bytes regardless of the worker count: cells are computed
+// independently and assembled in deterministic order, and the cached
+// wall-clock measurements (Table 4) are taken once per Runner.
+func (r *Runner) Parallel(n int) *Runner {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	r.workers = n
+	return r
+}
+
+// parMap runs fn(0..n-1) on the Runner's worker pool. With workers <= 1 (or
+// a single item) it degenerates to a plain ordered loop. fn must write its
+// result to its own index of a pre-sized slice; assembly happens after
+// parMap returns, in index order.
+func (r *Runner) parMap(n int, fn func(i int)) {
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // load builds (or returns cached) dataset + indexes for a profile.
 func (r *Runner) load(name string) *workload {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if w, ok := r.cache[name]; ok {
-		return w
+	e, ok := r.cache[name]
+	if !ok {
+		e = &wEntry{}
+		r.cache[name] = e
 	}
-	p := dataset.ProfileByName(name)
-	n := r.Scale.N[name]
-	if n == 0 {
-		n = 1000
-	}
-	ds := dataset.Generate(p, n, r.Scale.Queries, r.Scale.Seed)
-	buildStart := time.Now()
-	hx, err := hnsw.Build(ds.Vectors, p.Metric, hnsw.Config{
-		M: r.Scale.M, MaxDegree: r.Scale.MaxDegree,
-		EfConstruction: r.Scale.EfConstruction, Seed: r.Scale.Seed,
+	r.mu.Unlock()
+	e.once.Do(func() {
+		p := dataset.ProfileByName(name)
+		n := r.Scale.N[name]
+		if n == 0 {
+			n = 1000
+		}
+		ds := dataset.Generate(p, n, r.Scale.Queries, r.Scale.Seed)
+		buildStart := time.Now()
+		hx, err := hnsw.Build(ds.Vectors, p.Metric, hnsw.Config{
+			M: r.Scale.M, MaxDegree: r.Scale.MaxDegree,
+			EfConstruction: r.Scale.EfConstruction, Seed: r.Scale.Seed,
+		})
+		buildSecs := time.Since(buildStart).Seconds()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s hnsw build: %v", name, err))
+		}
+		vx, err := ivf.Build(ds.Vectors, p.Metric, ivf.Config{MaxIters: 10, Seed: r.Scale.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s ivf build: %v", name, err))
+		}
+		e.w = &workload{ds: ds, hnsw: hx, ivf: vx, gt: ds.GroundTruth(10), buildSeconds: buildSecs}
 	})
-	buildSecs := time.Since(buildStart).Seconds()
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s hnsw build: %v", name, err))
-	}
-	vx, err := ivf.Build(ds.Vectors, p.Metric, ivf.Config{MaxIters: 10, Seed: r.Scale.Seed})
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s ivf build: %v", name, err))
-	}
-	w := &workload{ds: ds, hnsw: hx, ivf: vx, gt: ds.GroundTruth(10), buildSeconds: buildSecs}
-	r.cache[name] = w
-	return w
+	return e.w
 }
 
 // system preprocesses a design over a cached workload. Default-config
-// systems (nil mutate) are cached: several figures revisit the same
-// (dataset, design) pair.
+// systems (nil mutate) are cached single-flight: several figures revisit
+// the same (dataset, design) pair, and two parallel cells never preprocess
+// it twice. Mutated systems are private to the caller.
 func (r *Runner) system(name string, d core.Design, mutate func(*core.SystemConfig)) (*workload, *core.System) {
 	w := r.load(name)
-	key := ""
-	if mutate == nil {
-		key = fmt.Sprintf("%s/%d", name, d)
-		r.mu.Lock()
-		sys := r.sysCache[key]
-		r.mu.Unlock()
-		if sys != nil {
-			return w, sys
+	build := func() *core.System {
+		cfg := core.DefaultSystemConfig(d)
+		cfg.Seed = r.Scale.Seed
+		if mutate != nil {
+			mutate(&cfg)
 		}
+		sys, err := core.NewSystem(w.ds.Vectors, w.ds.Profile.Elem, w.ds.Profile.Metric, w.hnsw, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s/%v: %v", name, d, err))
+		}
+		return sys
 	}
-	cfg := core.DefaultSystemConfig(d)
-	cfg.Seed = r.Scale.Seed
 	if mutate != nil {
-		mutate(&cfg)
+		return w, build()
 	}
-	sys, err := core.NewSystem(w.ds.Vectors, w.ds.Profile.Elem, w.ds.Profile.Metric, w.hnsw, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%v: %v", name, d, err))
+	key := fmt.Sprintf("%s/%d", name, d)
+	r.mu.Lock()
+	e, ok := r.sysCache[key]
+	if !ok {
+		e = &sysEntry{}
+		r.sysCache[key] = e
 	}
-	if key != "" {
-		r.mu.Lock()
-		r.sysCache[key] = sys
-		r.mu.Unlock()
-	}
-	return w, sys
+	r.mu.Unlock()
+	e.once.Do(func() { e.sys = build() })
+	return w, e.sys
 }
 
 // timedReport replays the run's traces enough times to make the timing

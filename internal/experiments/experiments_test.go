@@ -325,6 +325,52 @@ func TestAblationBeamBatch(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the determinism contract of the parallel
+// experiment pipeline: every generator must produce byte-identical output
+// whether its cells run serially or on a worker pool. It reuses the shared
+// testRunner so the cached wall-clock measurements (Table 4) are common to
+// both passes, exactly as in a real regeneration run.
+func TestParallelMatchesSerial(t *testing.T) {
+	gens := []struct {
+		name string
+		fn   func(*Runner) *Table
+	}{
+		{"Fig01", (*Runner).Fig01},
+		{"Fig03", (*Runner).Fig03},
+		{"Fig06", func(r *Runner) *Table { return r.Fig06([]int{10}) }},
+		{"Fig07", (*Runner).Fig07},
+		{"Fig08", (*Runner).Fig08},
+		{"Fig09", (*Runner).Fig09},
+		{"Fig10", (*Runner).Fig10},
+		{"Fig11", (*Runner).Fig11},
+		{"Fig12", (*Runner).Fig12},
+		{"Table3", (*Runner).Table3},
+		{"Table4", (*Runner).Table4},
+		{"Table5", (*Runner).Table5},
+		{"Replication", (*Runner).Replication},
+		{"AblationBeamBatch", (*Runner).AblationBeamBatch},
+		{"AblationQuantization", (*Runner).AblationQuantization},
+	}
+	format := func(tab *Table) []byte {
+		var buf bytes.Buffer
+		tab.Format(&buf)
+		return buf.Bytes()
+	}
+	defer func() { testRunner.workers = 0 }()
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			testRunner.Parallel(1)
+			serial := format(g.fn(testRunner))
+			testRunner.Parallel(4)
+			par := format(g.fn(testRunner))
+			if !bytes.Equal(serial, par) {
+				t.Errorf("parallel output diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+			}
+		})
+	}
+}
+
 func TestAblationQuantization(t *testing.T) {
 	tab := testRunner.AblationQuantization()
 	vals := map[string][]string{}

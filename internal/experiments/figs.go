@@ -21,41 +21,49 @@ func (r *Runner) Fig01() *Table {
 		Title:  "Fig.1: CPU-Base time breakdown (index+sort / accepted / rejected dist. comp.)",
 		Header: []string{"workload", "index+sort", "dist(accepted)", "dist(rejected)", "rejectedTasks"},
 	}
+	type cell struct{ idx, name string }
+	var cells []cell
 	for _, idx := range []string{"HNSW", "IVF"} {
 		for _, name := range []string{"SIFT", "GIST"} {
-			// Fig. 1 measures the k'=k setting, where the tight threshold
-			// rejects most comparisons.
-			w, sys := r.system(name, core.CPUBase, nil)
-			var run *core.RunResult
-			if idx == "HNSW" {
-				run = sys.RunHNSW(w.ds.Queries, 10, 10)
-			} else {
-				nprobe := w.ivf.NumClusters() / 4
-				if nprobe < 2 {
-					nprobe = 2
-				}
-				run = sys.RunIVF(w.ivf, w.ds.Queries, 10, 10, nprobe)
-			}
-			rep := run.Report
-			total := rep.TraversalNs + rep.DistCompNs
-			rejLines := float64(rep.IneffectualLines)
-			allLines := rejLines + float64(rep.EffectualLines)
-			rejFrac := rep.DistCompNs / total * rejLines / allLines
-			accFrac := rep.DistCompNs/total - rejFrac
-			tasks, rejected := 0, 0
-			for _, tr := range run.Traces {
-				tasks += tr.TotalTasks()
-				rejected += tr.TotalTasks() - tr.AcceptedTasks()
-			}
-			t.Rows = append(t.Rows, []string{
-				idx + "-" + name,
-				pct(rep.TraversalNs / total),
-				pct(accFrac),
-				pct(rejFrac),
-				pct(float64(rejected) / float64(tasks)),
-			})
+			cells = append(cells, cell{idx, name})
 		}
 	}
+	rows := make([][]string, len(cells))
+	r.parMap(len(cells), func(i int) {
+		c := cells[i]
+		// Fig. 1 measures the k'=k setting, where the tight threshold
+		// rejects most comparisons.
+		w, sys := r.system(c.name, core.CPUBase, nil)
+		var run *core.RunResult
+		if c.idx == "HNSW" {
+			run = sys.RunHNSW(w.ds.Queries, 10, 10)
+		} else {
+			nprobe := w.ivf.NumClusters() / 4
+			if nprobe < 2 {
+				nprobe = 2
+			}
+			run = sys.RunIVF(w.ivf, w.ds.Queries, 10, 10, nprobe)
+		}
+		rep := run.Report
+		total := rep.TraversalNs + rep.DistCompNs
+		rejLines := float64(rep.IneffectualLines)
+		allLines := rejLines + float64(rep.EffectualLines)
+		rejFrac := rep.DistCompNs / total * rejLines / allLines
+		accFrac := rep.DistCompNs/total - rejFrac
+		tasks, rejected := 0, 0
+		for _, tr := range run.Traces {
+			tasks += tr.TotalTasks()
+			rejected += tr.TotalTasks() - tr.AcceptedTasks()
+		}
+		rows[i] = []string{
+			c.idx + "-" + c.name,
+			pct(rep.TraversalNs / total),
+			pct(accFrac),
+			pct(rejFrac),
+			pct(float64(rejected) / float64(tasks)),
+		}
+	})
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper: distance comparison dominates and 50%-90%+ of comparisons are rejected")
 	return t
@@ -68,7 +76,10 @@ func (r *Runner) Fig03() *Table {
 		Title:  "Fig.3: prefix entropy (nats) and ET frequency vs prefix bit length",
 		Header: []string{"dataset", "bits", "entropy", "etFreq"},
 	}
-	for _, name := range []string{"GIST", "DEEP", "BigANN", "SPACEV"} {
+	names := []string{"GIST", "DEEP", "BigANN", "SPACEV"}
+	perDS := make([][][]string, len(names))
+	r.parMap(len(names), func(i int) {
+		name := names[i]
 		w := r.load(name)
 		sample := sampleVectors(w.ds, 100, r.Scale.Seed)
 		an, err := layout.Analyze(sample, w.ds.Profile.Elem, w.ds.Profile.Metric, layout.DefaultOptions())
@@ -81,11 +92,14 @@ func (r *Runner) Fig03() *Table {
 			step = 2 // keep fp32 rows readable
 		}
 		for b := 1; b <= bits; b += step {
-			t.Rows = append(t.Rows, []string{
+			perDS[i] = append(perDS[i], []string{
 				name, fmt.Sprint(b), fmt.Sprintf("%.3f", an.PrefixEntropy[b-1]),
 				fmt.Sprintf("%.4f", an.ETFreq[b-1]),
 			})
 		}
+	})
+	for _, rows := range perDS {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"expected shape: low entropy for the first bits, ET mass concentrated mid-range, little in the lowest bits")
@@ -102,26 +116,45 @@ func (r *Runner) Fig06(ks []int) *Table {
 		Title:  "Fig.6: speedup over CPU-Base (HNSW)",
 		Header: append([]string{"dataset", "k"}, designNames()...),
 	}
-	geo := map[string][]float64{}
+	type cell struct {
+		name string
+		k    int
+		d    core.Design
+	}
+	var cells []cell
 	for _, name := range AllProfiles {
 		for _, k := range ks {
-			row := []string{name, fmt.Sprint(k)}
-			var base float64
 			for _, d := range core.AllDesigns {
-				w, sys := r.system(name, d, nil)
-				run := sys.RunHNSW(w.ds.Queries, k, r.Scale.EfSearch)
-				q := r.timedReport(sys, run).QPS()
-				if d == core.CPUBase {
-					base = q
-				}
-				sp := q / base
-				row = append(row, f2(sp))
-				if k == 10 {
-					geo[d.String()] = append(geo[d.String()], sp)
-				}
+				cells = append(cells, cell{name, k, d})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	qps := make([]float64, len(cells))
+	r.parMap(len(cells), func(i int) {
+		c := cells[i]
+		w, sys := r.system(c.name, c.d, nil)
+		run := sys.RunHNSW(w.ds.Queries, c.k, r.Scale.EfSearch)
+		qps[i] = r.timedReport(sys, run).QPS()
+	})
+	// Assembly: normalize each (dataset, k) row to its CPU-Base cell.
+	geo := map[string][]float64{}
+	nd := len(core.AllDesigns)
+	for ci := 0; ci < len(cells); ci += nd {
+		c := cells[ci]
+		row := []string{c.name, fmt.Sprint(c.k)}
+		var base float64
+		for di, d := range core.AllDesigns {
+			q := qps[ci+di]
+			if d == core.CPUBase {
+				base = q
+			}
+			sp := q / base
+			row = append(row, f2(sp))
+			if c.k == 10 {
+				geo[d.String()] = append(geo[d.String()], sp)
+			}
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	gm := []string{"geomean", "10"}
 	for _, d := range core.AllDesigns {
@@ -142,13 +175,19 @@ func (r *Runner) Fig07() *Table {
 		Header: []string{"dataset", "CPU-Base", "CPU-ETOpt", "NDP-Base", "NDP-DimET", "NDP-BitET", "NDP-ETOpt"},
 	}
 	model := energy.Default()
-	for _, name := range AllProfiles {
+	nd := len(designs)
+	mjs := make([]float64, len(AllProfiles)*nd)
+	r.parMap(len(mjs), func(i int) {
+		name, d := AllProfiles[i/nd], designs[i%nd]
+		w, sys := r.system(name, d, nil)
+		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+		mjs[i] = model.Compute(r.timedReport(sys, run).EnergyActivity()).TotalMJ()
+	})
+	for ni, name := range AllProfiles {
 		row := []string{name}
 		var base float64
-		for _, d := range designs {
-			w, sys := r.system(name, d, nil)
-			run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
-			e := model.Compute(r.timedReport(sys, run).EnergyActivity()).TotalMJ()
+		for di, d := range designs {
+			e := mjs[ni*nd+di]
 			if d == core.CPUBase {
 				base = e
 			}
@@ -167,19 +206,31 @@ func (r *Runner) Fig08() *Table {
 		Title:  "Fig.8: recall@10 vs QPS (efSearch sweep)",
 		Header: []string{"dataset", "design", "efSearch", "recall@10", "QPS"},
 	}
+	type cell struct {
+		name string
+		d    core.Design
+		ef   int
+	}
+	var cells []cell
 	for _, name := range []string{"SIFT", "GIST"} {
 		for _, d := range []core.Design{core.CPUBase, core.NDPBase, core.NDPETOpt} {
-			w, sys := r.system(name, d, nil)
 			for _, ef := range []int{10, 20, 40, 80, 160} {
-				run := sys.RunHNSW(w.ds.Queries, 10, ef)
-				t.Rows = append(t.Rows, []string{
-					name, d.String(), fmt.Sprint(ef),
-					fmt.Sprintf("%.3f", recallOf(w, run)),
-					fmt.Sprintf("%.0f", r.timedReport(sys, run).QPS()),
-				})
+				cells = append(cells, cell{name, d, ef})
 			}
 		}
 	}
+	rows := make([][]string, len(cells))
+	r.parMap(len(cells), func(i int) {
+		c := cells[i]
+		w, sys := r.system(c.name, c.d, nil)
+		run := sys.RunHNSW(w.ds.Queries, 10, c.ef)
+		rows[i] = []string{
+			c.name, c.d.String(), fmt.Sprint(c.ef),
+			fmt.Sprintf("%.3f", recallOf(w, run)),
+			fmt.Sprintf("%.0f", r.timedReport(sys, run).QPS()),
+		}
+	})
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper: ANSMET dominates at every accuracy; smaller k' tightens thresholds and widens the ET gap")
 	return t
@@ -210,8 +261,8 @@ func (r *Runner) Fig09() *Table {
 	}
 	type parts struct{ trav, off, dist, coll float64 }
 	measured := make([]parts, len(variants))
-	var base float64
-	for i, v := range variants {
+	r.parMap(len(variants), func(i int) {
+		v := variants[i]
 		// Fig. 9 is a per-query latency breakdown: queries run one at a
 		// time so the components reflect the latency chain rather than
 		// saturation queueing.
@@ -224,9 +275,12 @@ func (r *Runner) Fig09() *Table {
 		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
 		rep := run.Report
 		nq := float64(len(rep.QueryLatencyNs))
-		m := parts{rep.TraversalNs / nq, rep.OffloadNs / nq, rep.DistCompNs / nq, rep.CollectNs / nq}
-		measured[i] = m
+		measured[i] = parts{rep.TraversalNs / nq, rep.OffloadNs / nq, rep.DistCompNs / nq, rep.CollectNs / nq}
+	})
+	var base float64
+	for i, v := range variants {
 		if v.label == "NDP-Base" {
+			m := measured[i]
 			base = m.trav + m.off + m.dist + m.coll
 		}
 	}
@@ -250,14 +304,16 @@ func (r *Runner) Fig10() *Table {
 		Title:  "Fig.10: fetch utilization (effectual fraction of fetched lines)",
 		Header: append([]string{"dataset"}, designStrings(designs)...),
 	}
-	for _, name := range AllProfiles {
-		row := []string{name}
-		for _, d := range designs {
-			w, sys := r.system(name, d, nil)
-			run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
-			row = append(row, pct(run.Report.FetchUtilization()))
-		}
-		t.Rows = append(t.Rows, row)
+	nd := len(designs)
+	utils := make([]string, len(AllProfiles)*nd)
+	r.parMap(len(utils), func(i int) {
+		name, d := AllProfiles[i/nd], designs[i%nd]
+		w, sys := r.system(name, d, nil)
+		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
+		utils[i] = pct(run.Report.FetchUtilization())
+	})
+	for ni, name := range AllProfiles {
+		t.Rows = append(t.Rows, append([]string{name}, utils[ni*nd:(ni+1)*nd]...))
 	}
 	t.Notes = append(t.Notes, "paper: utilization improves 6.0% -> 9.0% (ET) -> 11.1% (ETOpt) on average")
 	return t
@@ -286,12 +342,23 @@ func (r *Runner) Fig11() *Table {
 		dist := append(append([]float64{}, an.ETFreq...), an.NoTermFrac)
 		return stats.KLDivergence(truth, dist)
 	}
+	type cell struct {
+		param, value string
+		n            int
+		thr          float64
+	}
+	var cells []cell
 	for _, n := range []int{10, 20, 50, 100} {
-		t.Rows = append(t.Rows, []string{"#samples", fmt.Sprint(n), fmt.Sprintf("%.3f", klOf(n, 0.90))})
+		cells = append(cells, cell{"#samples", fmt.Sprint(n), n, 0.90})
 	}
 	for _, thr := range []float64{0.98, 0.95, 0.90, 0.80, 0.50} {
 		label := fmt.Sprintf("%.0f%% largest", 100*(1-thr))
-		t.Rows = append(t.Rows, []string{"threshold", label, fmt.Sprintf("%.3f", klOf(100, thr))})
+		cells = append(cells, cell{"threshold", label, 100, thr})
+	}
+	kls := make([]float64, len(cells))
+	r.parMap(len(cells), func(i int) { kls[i] = klOf(cells[i].n, cells[i].thr) })
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{c.param, c.value, fmt.Sprintf("%.3f", kls[i])})
 	}
 	t.Notes = append(t.Notes,
 		"paper: 50-100 samples suffice and the 10%-largest threshold is best; at this scale the in-search thresholds sit deeper in the pairwise distribution, shifting the best percentile toward the median (see EXPERIMENTS.md)")
@@ -311,19 +378,17 @@ func (r *Runner) trueETDistribution(w *workload) []float64 {
 	rng := stats.NewRNG(r.Scale.Seed + 13)
 	for qi, tr := range run.Traces {
 		q := w.ds.Queries[qi]
-		for _, h := range tr.Hops {
-			for _, task := range h.Tasks {
-				if rng.Float64() > 0.25 || math.IsInf(task.Threshold, 1) {
-					continue // subsample for cost; skip unbounded warmup tasks
-				}
-				v := w.ds.Vectors[task.ID]
-				codes := p.Elem.EncodeVector(v, nil)
-				pos := layout.TerminationPosition(p.Elem, p.Metric, task.Threshold, q, codes)
-				if pos > bits {
-					hist[bits]++
-				} else {
-					hist[pos-1]++
-				}
+		for _, task := range tr.Tasks() {
+			if rng.Float64() > 0.25 || math.IsInf(task.Threshold, 1) {
+				continue // subsample for cost; skip unbounded warmup tasks
+			}
+			v := w.ds.Vectors[task.ID]
+			codes := p.Elem.EncodeVector(v, nil)
+			pos := layout.TerminationPosition(p.Elem, p.Metric, task.Threshold, q, codes)
+			if pos > bits {
+				hist[bits]++
+			} else {
+				hist[pos-1]++
 			}
 		}
 	}
@@ -350,11 +415,13 @@ func (r *Runner) Fig12() *Table {
 		{"horizontal", func(c *core.SystemConfig) { c.Scheme = partition.Horizontal }},
 	}
 	qpss := make([]float64, len(schemes))
-	var base float64
-	for i, sc := range schemes {
-		w, sys := r.system("GIST", core.NDPETOpt, sc.mut)
+	r.parMap(len(schemes), func(i int) {
+		w, sys := r.system("GIST", core.NDPETOpt, schemes[i].mut)
 		run := sys.RunHNSW(w.ds.Queries, 10, r.Scale.EfSearch)
 		qpss[i] = r.timedReport(sys, run).QPS()
+	})
+	var base float64
+	for i, sc := range schemes {
 		if sc.label == "hybrid-1kB" {
 			base = qpss[i]
 		}

@@ -150,7 +150,7 @@ func TestSearchTrace(t *testing.T) {
 	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
 	var rec trace.Query
 	res := ix.Search(ds.Queries[0], 10, 60, eng, &rec)
-	if len(rec.Hops) == 0 {
+	if rec.NumHops() == 0 {
 		t.Fatal("no hops recorded")
 	}
 	if rec.TotalTasks() == 0 {
@@ -167,7 +167,8 @@ func TestSearchTrace(t *testing.T) {
 	}
 	// Every vector compared at most once at level 0 (visited set works).
 	seen := map[uint32]int{}
-	for _, h := range rec.Hops {
+	for hi := 0; hi < rec.NumHops(); hi++ {
+		h := rec.Hop(hi)
 		if h.Level != 0 {
 			continue
 		}

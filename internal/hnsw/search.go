@@ -74,11 +74,9 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 	// Entry comparison (threshold ∞: always accepted, full fetch).
 	entryRes := eng.Compare(ix.entry, math.Inf(1))
 	if rec != nil {
-		rec.AddHop(trace.Hop{
-			Level:   ix.maxLevel,
-			Tasks:   []trace.Task{{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes}},
-			HostOps: 2,
-		})
+		rec.BeginHop(ix.maxLevel)
+		rec.AddTask(trace.Task{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes})
+		rec.EndHop(2)
 	}
 	cur := ix.entry
 	curDist := entryRes.Dist
@@ -90,15 +88,14 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 			if len(nbs) == 0 {
 				break
 			}
-			var hop trace.Hop
 			if rec != nil {
-				hop = trace.Hop{Level: l, HostOps: 1 + len(nbs)}
+				rec.BeginHop(l)
 			}
 			improved := false
 			for _, nb := range nbs {
 				res := eng.Compare(nb, curDist)
 				if rec != nil {
-					hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: curDist, Result: res})
+					rec.AddTask(trace.Task{ID: nb, Threshold: curDist, Result: res})
 				}
 				if res.Accepted && res.Dist < curDist {
 					cur, curDist = nb, res.Dist
@@ -106,7 +103,7 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 				}
 			}
 			if rec != nil {
-				rec.AddHop(hop)
+				rec.EndHop(1 + len(nbs))
 			}
 			if !improved {
 				break
@@ -163,14 +160,13 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 		if results.Len() >= ef {
 			threshold = results.Top().Dist
 		}
-		var hop trace.Hop
 		if rec != nil {
-			hop = trace.Hop{Level: 0, HostOps: 2 + 2*len(ids)}
+			rec.BeginHop(0)
 		}
 		for _, nb := range ids {
 			res := eng.Compare(nb, threshold)
 			if rec != nil {
-				hop.Tasks = append(hop.Tasks, trace.Task{ID: nb, Threshold: threshold, Result: res})
+				rec.AddTask(trace.Task{ID: nb, Threshold: threshold, Result: res})
 			}
 			if res.Accepted {
 				n := Neighbor{ID: nb, Dist: res.Dist}
@@ -184,7 +180,7 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 			}
 		}
 		if rec != nil {
-			rec.AddHop(hop)
+			rec.EndHop(2 + 2*len(ids))
 		}
 	}
 	ctx.ids = ids // keep any capacity growth for the next query

@@ -135,14 +135,13 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 		if results.Len() >= ef {
 			threshold = results.Top().Dist
 		}
-		var hop trace.Hop
 		if rec != nil {
-			hop = trace.Hop{Level: -1, HostOps: 1 + 2*len(members)}
+			rec.BeginHop(-1)
 		}
 		for _, id := range members {
 			res := eng.Compare(id, threshold)
 			if rec != nil {
-				hop.Tasks = append(hop.Tasks, trace.Task{ID: id, Threshold: threshold, Result: res})
+				rec.AddTask(trace.Task{ID: id, Threshold: threshold, Result: res})
 			}
 			if res.Accepted {
 				results.Push(hnsw.Neighbor{ID: id, Dist: res.Dist})
@@ -152,7 +151,7 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 			}
 		}
 		if rec != nil {
-			rec.AddHop(hop)
+			rec.EndHop(1 + 2*len(members))
 		}
 	}
 

@@ -127,10 +127,10 @@ func TestSearchTrace(t *testing.T) {
 	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
 	var rec trace.Query
 	res := ix.Search(ds.Queries[0], 5, 5, 4, eng, &rec)
-	if len(rec.Hops) < 2 {
-		t.Fatalf("expected centroid hop + probe hops, got %d", len(rec.Hops))
+	if rec.NumHops() < 2 {
+		t.Fatalf("expected centroid hop + probe hops, got %d", rec.NumHops())
 	}
-	if len(rec.Hops[0].Tasks) != 0 {
+	if len(rec.Hop(0).Tasks) != 0 {
 		t.Error("centroid hop should carry no comparison tasks")
 	}
 	if rec.TotalTasks() == 0 {

@@ -182,17 +182,24 @@ func (m *Map) Addr(id uint32, group, seg, line int) dram.Addr {
 //     its own lines (§5.3: local ET has "reduced effectiveness", captured
 //     by nfLocal >= the sequential termination position).
 func (m *Map) FetchedPerSegment(nfLocal int, fullFetch bool) []int {
-	out := make([]int, m.numSegs)
+	return m.AppendFetchedPerSegment(nil, nfLocal, fullFetch)
+}
+
+// AppendFetchedPerSegment is the allocation-free variant of
+// FetchedPerSegment: it appends the per-segment fetch counts to dst and
+// returns the extended slice. The simulator's hot path passes a reused
+// scratch slice.
+func (m *Map) AppendFetchedPerSegment(dst []int, nfLocal int, fullFetch bool) []int {
 	per := (nfLocal + m.numSegs - 1) / m.numSegs
-	for s := range out {
+	for s := 0; s < m.numSegs; s++ {
 		segLen := m.SegLines(s)
 		if fullFetch || nfLocal >= m.linesPerVector || per > segLen {
-			out[s] = segLen
+			dst = append(dst, segLen)
 		} else {
-			out[s] = per
+			dst = append(dst, per)
 		}
 	}
-	return out
+	return dst
 }
 
 // ServingRanks appends the ranks that serve a comparison against vector id

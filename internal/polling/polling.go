@@ -30,6 +30,56 @@ type BatchEstimate struct {
 	QueueAheadNs float64 // estimated backlog on the unit at offload
 }
 
+// Plan is a poll-time sequence in value form: At(i) returns the time of
+// the i-th poll (i >= 0), strictly increasing. It computes exactly what the
+// corresponding Schedule closure computes — same operations, same rounding
+// — but as a plain value, so the simulator's replay loop can obtain a
+// schedule per (unit, hop) without a closure allocation.
+type Plan struct {
+	linear bool
+	t0, iv float64 // linear: poll i at t0 + (i+1)*iv
+
+	first, retry, fineUntil, maxRetry float64 // backoff (Adaptive)
+}
+
+// At returns the time of the i-th poll.
+func (p Plan) At(i int) float64 {
+	if p.linear {
+		return p.t0 + float64(i+1)*p.iv
+	}
+	t := p.first
+	step := p.retry
+	for j := 0; j < i; j++ {
+		t += step
+		if t > p.fineUntil {
+			step *= 2
+			if step > p.maxRetry {
+				step = p.maxRetry
+			}
+		}
+	}
+	return t
+}
+
+// RetrieveAt is RetrieveAt specialised to a Plan, avoiding the function
+// value at the call site.
+func (p Plan) RetrieveAt(done float64, maxPolls int) (at float64, polls int) {
+	for i := 0; i < maxPolls; i++ {
+		t := p.At(i)
+		if t >= done {
+			return t, i + 1
+		}
+	}
+	return p.At(maxPolls - 1), maxPolls
+}
+
+// Planner is implemented by policies whose schedule can be expressed as a
+// Plan value. Hot loops prefer it over Schedule to avoid allocating the
+// returned closure; both forms must produce identical poll times.
+type Planner interface {
+	Plan(t0 float64, est BatchEstimate) Plan
+}
+
 // Conventional polls every IntervalNs after the offload (the paper's
 // baseline uses a fixed 100 ns interval, Fig. 9).
 type Conventional struct {
@@ -39,13 +89,18 @@ type Conventional struct {
 // Name implements Policy.
 func (c Conventional) Name() string { return "conventional" }
 
-// Schedule implements Policy.
-func (c Conventional) Schedule(t0 float64, _ BatchEstimate) func(i int) float64 {
+// Plan implements Planner.
+func (c Conventional) Plan(t0 float64, _ BatchEstimate) Plan {
 	iv := c.IntervalNs
 	if iv <= 0 {
 		iv = 100
 	}
-	return func(i int) float64 { return t0 + float64(i+1)*iv }
+	return Plan{linear: true, t0: t0, iv: iv}
+}
+
+// Schedule implements Policy.
+func (c Conventional) Schedule(t0 float64, est BatchEstimate) func(i int) float64 {
+	return c.Plan(t0, est).At
 }
 
 // Adaptive aims the first poll at the estimated batch completion time —
@@ -67,12 +122,12 @@ type Adaptive struct {
 // Name implements Policy.
 func (a Adaptive) Name() string { return "adaptive" }
 
-// Schedule implements Policy. The first poll aims slightly below the
+// Plan implements Planner. The first poll aims slightly below the
 // estimated completion (estimates carry error in both directions; polling a
 // touch early costs one cheap retry, polling late costs real latency), then
 // retries at a fine, estimate-proportional pitch that doubles once past the
 // expected window.
-func (a Adaptive) Schedule(t0 float64, est BatchEstimate) func(i int) float64 {
+func (a Adaptive) Plan(t0 float64, est BatchEstimate) Plan {
 	safety := a.Safety
 	if safety <= 0 {
 		safety = 0.95
@@ -86,22 +141,17 @@ func (a Adaptive) Schedule(t0 float64, est BatchEstimate) func(i int) float64 {
 	if retry <= 0 {
 		retry = math.Max(10, 0.1*expect)
 	}
-	first := t0 + expect*safety
-	fineUntil := t0 + expect*2
-	return func(i int) float64 {
-		t := first
-		step := retry
-		for j := 0; j < i; j++ {
-			t += step
-			if t > fineUntil {
-				step *= 2
-				if step > maxRetry {
-					step = maxRetry
-				}
-			}
-		}
-		return t
+	return Plan{
+		first:     t0 + expect*safety,
+		retry:     retry,
+		fineUntil: t0 + expect*2,
+		maxRetry:  maxRetry,
 	}
+}
+
+// Schedule implements Policy.
+func (a Adaptive) Schedule(t0 float64, est BatchEstimate) func(i int) float64 {
+	return a.Plan(t0, est).At
 }
 
 // RetrieveAt returns the first poll time that observes a result completed

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"ansmet/internal/dram"
 	"ansmet/internal/polling"
@@ -14,6 +14,15 @@ import (
 // window and advanced one hop at a time in global time order, so the
 // reservation-based resources interleave concurrent queries realistically.
 // The replay is deterministic.
+//
+// Scheduling is event-driven: active queries sit in a min-heap keyed
+// (next-event time, query index), so picking the next event is O(log W) in
+// the admission window instead of an O(W) scan. The tie-break on query
+// index reproduces the original scan scheduler's selection order exactly —
+// replay_golden_test.go pins byte-identical reports against referenceRun.
+// Replay state (DRAM model, frontiers, per-hop scratch) is pooled so
+// concurrent Run calls from the parallel experiment pipeline do not contend
+// the allocator.
 func Run(cfg Config, traces []*trace.Query) *Report {
 	if cfg.Part == nil {
 		panic("sim: Config.Part is required")
@@ -24,104 +33,401 @@ func Run(cfg Config, traces []*trace.Query) *Report {
 	if cfg.QueryLines <= 0 {
 		cfg.QueryLines = 1
 	}
-	s := newState(cfg)
-	window := cfg.maxInFlight()
-
-	type qstate struct {
-		qi       int
-		hop      int
-		post     bool // NDP: hop dispatched, host post-phase pending
-		t, start float64
-		hasQuery map[int]bool // NDP units holding this query's QSHR
+	s := getState(cfg)
+	rep := &Report{
+		RankTaskLines:  make([]uint64, cfg.Mem.Ranks()),
+		QueryLatencyNs: make([]float64, len(traces)),
 	}
-	s.rep.QueryLatencyNs = make([]float64, len(traces))
-	var active []*qstate
+	s.rep = rep
+	s.replay(traces)
+	rep.Mem = s.mem.Stats()
+	putState(s)
+	return rep
+}
+
+// qstate is one in-flight query's scheduler entry.
+type qstate struct {
+	qi    int32
+	hop   int32
+	post  bool // NDP: hop dispatched, host post-phase pending
+	t     float64
+	start float64
+	// chInstalled marks channels whose NDP units already hold this query's
+	// QSHR query vector. A set-query WRITE is seen by every DIMM buffer
+	// chip on the shared channel bus, so one install serves all of the
+	// channel's units (rank-level multicast); tracking is therefore per
+	// channel, not per unit. One bit per channel replaces the old
+	// map[int]bool.
+	chInstalled []uint64
+}
+
+// replay drives the event loop. Invariants the event ordering relies on:
+//
+//   - Each active query has exactly one pending event (its next hop phase
+//     at time t); the heap orders events by (t, qi), ascending.
+//   - Query event times never move backward: every hop function returns an
+//     end time >= its start time.
+//   - Admission fills freed slots eagerly at the completing query's finish
+//     time, in query order, so equal-time admissions pop in query order —
+//     the same order the original scan scheduler produced.
+func (s *state) replay(traces []*trace.Query) {
+	cfg := s.cfg
+	window := cfg.maxInFlight()
+	if window <= 1 {
+		s.replaySerial(traces)
+		return
+	}
+	if window > len(traces) {
+		window = len(traces)
+	}
+	if cap(s.qArena) < window {
+		s.qArena = make([]qstate, window)
+	}
+	s.qArena = s.qArena[:window]
+	words := (cfg.Mem.Channels + 63) / 64
+	s.qHeap = s.qHeap[:0]
+	s.qFree = s.qFree[:0]
+	for i := window - 1; i >= 0; i-- {
+		s.qFree = append(s.qFree, int32(i))
+	}
 	next := 0
 	admit := func(at float64) {
-		for len(active) < window && next < len(traces) {
-			active = append(active, &qstate{qi: next, t: at, start: at, hasQuery: map[int]bool{}})
+		for len(s.qFree) > 0 && next < len(traces) {
+			slot := s.qFree[len(s.qFree)-1]
+			s.qFree = s.qFree[:len(s.qFree)-1]
+			q := &s.qArena[slot]
+			q.qi, q.hop, q.post = int32(next), 0, false
+			q.t, q.start = at, at
+			if cap(q.chInstalled) < words {
+				q.chInstalled = make([]uint64, words)
+			} else {
+				q.chInstalled = q.chInstalled[:words]
+				for i := range q.chInstalled {
+					q.chInstalled[i] = 0
+				}
+			}
 			next++
+			s.qPush(slot)
 		}
 	}
 	admit(0)
-	for len(active) > 0 {
-		// Advance the query whose next hop starts earliest.
-		best := 0
-		for i := 1; i < len(active); i++ {
-			if active[i].t < active[best].t {
-				best = i
+	for len(s.qHeap) > 0 {
+		slot := s.qPop()
+		q := &s.qArena[slot]
+		tr := traces[q.qi]
+		if int(q.hop) >= tr.NumHops() {
+			s.rep.QueryLatencyNs[q.qi] = q.t - q.start
+			if q.t > s.rep.MakespanNs {
+				s.rep.MakespanNs = q.t
 			}
-		}
-		qs := active[best]
-		tr := traces[qs.qi]
-		if qs.hop >= len(tr.Hops) {
-			s.rep.QueryLatencyNs[qs.qi] = qs.t - qs.start
-			if qs.t > s.rep.MakespanNs {
-				s.rep.MakespanNs = qs.t
-			}
-			active[best] = active[len(active)-1]
-			active = active[:len(active)-1]
-			admit(qs.t)
+			s.qFree = append(s.qFree, slot)
+			admit(q.t)
 			continue
 		}
-		hop := tr.Hops[qs.hop]
+		hop := tr.Hop(int(q.hop))
 		switch {
 		case !cfg.UseNDP:
-			qs.t = s.runCPUHop(qs.t, hop)
-			qs.hop++
-		case qs.post:
+			q.t = s.runCPUHop(q.t, hop)
+			q.hop++
+		case q.post:
 			// Host-side result handling runs as its own scheduler event so
 			// core acquisitions happen in global time order.
-			qs.t = s.runHostPost(qs.t, hop)
-			qs.post = false
-			qs.hop++
+			q.t = s.runHostPost(q.t, hop)
+			q.post = false
+			q.hop++
 		default:
-			qs.t = s.runNDPDispatch(qs.t, hop, qs.hasQuery)
-			qs.post = true
+			q.t = s.runNDPDispatch(q.t, hop, q.chInstalled)
+			q.post = true
+		}
+		s.qPush(slot)
+	}
+}
+
+// replaySerial is the window=1 fast path (isolated-latency runs,
+// InFlightFactor < 0): with a single in-flight query there is nothing to
+// schedule, so the heap and admission machinery are skipped entirely.
+func (s *state) replaySerial(traces []*trace.Query) {
+	cfg := s.cfg
+	words := (cfg.Mem.Channels + 63) / 64
+	if cap(s.qArena) < 1 {
+		s.qArena = make([]qstate, 1)
+	}
+	q := &s.qArena[:1][0]
+	if cap(q.chInstalled) < words {
+		q.chInstalled = make([]uint64, words)
+	}
+	t := 0.0
+	for qi, tr := range traces {
+		start := t
+		chInstalled := q.chInstalled[:words]
+		for i := range chInstalled {
+			chInstalled[i] = 0
+		}
+		for h := 0; h < tr.NumHops(); h++ {
+			hop := tr.Hop(h)
+			if !cfg.UseNDP {
+				t = s.runCPUHop(t, hop)
+			} else {
+				t = s.runNDPDispatch(t, hop, chInstalled)
+				t = s.runHostPost(t, hop)
+			}
+		}
+		s.rep.QueryLatencyNs[qi] = t - start
+		if t > s.rep.MakespanNs {
+			s.rep.MakespanNs = t
 		}
 	}
-	s.rep.Mem = s.mem.Stats()
-	return s.rep
 }
 
+// ---------------------------------------------------------------------------
+// Scheduler heaps.
+// ---------------------------------------------------------------------------
+
+func (s *state) qLess(a, b int32) bool {
+	qa, qb := &s.qArena[a], &s.qArena[b]
+	return qa.t < qb.t || (qa.t == qb.t && qa.qi < qb.qi)
+}
+
+func (s *state) qPush(slot int32) {
+	s.qHeap = append(s.qHeap, slot)
+	i := len(s.qHeap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.qLess(s.qHeap[i], s.qHeap[p]) {
+			break
+		}
+		s.qHeap[i], s.qHeap[p] = s.qHeap[p], s.qHeap[i]
+		i = p
+	}
+}
+
+func (s *state) qPop() int32 {
+	h := s.qHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.qHeap = h[:n]
+	h = s.qHeap
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.qLess(h[r], h[l]) {
+			m = r
+		}
+		if !s.qLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// ---------------------------------------------------------------------------
+// Pooled replay state.
+// ---------------------------------------------------------------------------
+
+// tstate is the per-task progress cursor of one CPU hop.
+type tstate struct {
+	line      int
+	remaining int
+	gate      float64
+}
+
+// subtask is one (task, segment) unit of NDP work.
+type subtask struct {
+	taskIdx int
+	seg     int
+	lines   int
+	backup  int // backup lines, charged to segment 0's unit
+	id      uint32
+	group   int
+}
+
+// state holds every mutable structure one replay needs. States are pooled:
+// a Run call takes one from statePool, resets it for its Config, and
+// returns it on exit, so back-to-back and concurrent replays reuse the
+// DRAM model's bank/bus arrays and all scratch instead of reallocating.
 type state struct {
-	cfg      Config
-	mem      *dram.Memory
+	cfg Config
+	mem *dram.Memory
+	rep *Report
+
+	// planner is cfg.Poll's allocation-free form, when it offers one
+	// (resolved once per replay; nil falls back to the Schedule closure).
+	planner polling.Planner
+
+	// Core frontier: coreFree[i] is core i's busy-until time, organised as
+	// an indexed min-heap keyed (coreFree[i], i) so acquisition is O(1) and
+	// release O(log cores). The (time, index) order matches the original
+	// linear scan's lowest-index-among-ties selection. Keys only ever
+	// increase (releaseCore moves a core's frontier forward), so release
+	// needs only a sift-down.
 	coreFree []float64
-	unitFree []float64
-	rep      *Report
+	coreHeap []int32
+	corePos  []int32
+
+	// NDP unit frontiers, and the per-rank-group running max of them that
+	// leastLoadedGroup consults (updated incrementally where unitFree is
+	// raised — exact, since frontiers are monotone within a replay).
+	unitFree   []float64
+	groupWorst []float64
+
+	// Scheduler storage (slot arena + event heap + free slots).
+	qArena []qstate
+	qHeap  []int32
+	qFree  []int32
+
+	// Per-hop scratch, reused across hops.
+	comp      []float64   // CPU: completion times of issued reads (MLP window)
+	tstates   []tstate    // CPU: per-task cursors
+	unitSub   [][]subtask // NDP: subtasks per unit; empty slices mean untouched
+	unitTasks []int
+	unitDone  []float64
+	backlog   []float64
+	taskDone  []float64
+	hopLoad   []int // tentative per-group lines this hop
+	perCh     []float64
+	chSet     []bool
+	perSeg    []int
 }
 
-func newState(cfg Config) *state {
-	mem := dram.New(cfg.Mem)
-	s := &state{
-		cfg:      cfg,
-		mem:      mem,
-		coreFree: make([]float64, cfg.Host.Cores),
-		unitFree: make([]float64, cfg.Mem.Ranks()),
-		rep:      &Report{RankTaskLines: make([]uint64, cfg.Mem.Ranks())},
+var statePool sync.Pool
+
+func getState(cfg Config) *state {
+	s, _ := statePool.Get().(*state)
+	if s == nil {
+		s = &state{}
+	}
+	s.reset(cfg)
+	return s
+}
+
+func putState(s *state) {
+	s.rep = nil
+	statePool.Put(s)
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
 	}
 	return s
 }
 
-// acquireCore returns the earliest-available core and its start time >= t.
-func (s *state) acquireCore(t float64) (idx int, start float64) {
-	idx = 0
-	for i := 1; i < len(s.coreFree); i++ {
-		if s.coreFree[i] < s.coreFree[idx] {
-			idx = i
-		}
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// reset prepares a (possibly recycled) state for one replay under cfg.
+func (s *state) reset(cfg Config) {
+	s.cfg = cfg
+	s.planner, _ = cfg.Poll.(polling.Planner)
+	if s.mem != nil && s.mem.Config() == cfg.Mem {
+		s.mem.Reset()
+	} else {
+		s.mem = dram.New(cfg.Mem)
+	}
+	cores := cfg.Host.Cores
+	s.coreFree = resizeF64(s.coreFree, cores)
+	if cap(s.coreHeap) < cores {
+		s.coreHeap = make([]int32, cores)
+		s.corePos = make([]int32, cores)
+	}
+	s.coreHeap = s.coreHeap[:cores]
+	s.corePos = s.corePos[:cores]
+	for i := 0; i < cores; i++ {
+		// All keys are 0; the identity arrangement is a valid (time, index)
+		// min-heap.
+		s.coreHeap[i] = int32(i)
+		s.corePos[i] = int32(i)
+	}
+	ranks := cfg.Mem.Ranks()
+	s.unitFree = resizeF64(s.unitFree, ranks)
+	s.groupWorst = resizeF64(s.groupWorst, cfg.Part.Groups())
+	if cap(s.unitSub) < ranks {
+		old := s.unitSub
+		s.unitSub = make([][]subtask, ranks)
+		copy(s.unitSub, old)
+	}
+	s.unitSub = s.unitSub[:ranks]
+	for i := range s.unitSub {
+		s.unitSub[i] = s.unitSub[i][:0]
+	}
+	s.unitTasks = resizeInt(s.unitTasks, ranks)
+	s.unitDone = resizeF64(s.unitDone, ranks)
+	s.backlog = resizeF64(s.backlog, ranks)
+	s.hopLoad = resizeInt(s.hopLoad, cfg.Part.Groups())
+	s.perCh = resizeF64(s.perCh, cfg.Mem.Channels)
+	if cap(s.chSet) < cfg.Mem.Channels {
+		s.chSet = make([]bool, cfg.Mem.Channels)
+	}
+	s.chSet = s.chSet[:cfg.Mem.Channels]
+	s.comp = s.comp[:0]
+	s.tstates = s.tstates[:0]
+	s.taskDone = s.taskDone[:0]
+	s.perSeg = s.perSeg[:0]
+}
+
+// acquireCore returns the earliest-available core and its start time >= t.
+// The caller must pair it with releaseCore before the next acquireCore —
+// the heap key stays stale in between (the replay is single-threaded and
+// every hop function acquires and releases within its own extent).
+func (s *state) acquireCore(t float64) (idx int, start float64) {
+	idx = int(s.coreHeap[0])
 	start = t
-	if s.coreFree[idx] > start {
-		start = s.coreFree[idx]
+	if f := s.coreFree[idx]; f > start {
+		start = f
 	}
 	return idx, start
 }
 
 func (s *state) releaseCore(idx int, from, to float64) {
 	s.coreFree[idx] = to
+	s.coreSiftDown(int(s.corePos[idx]))
 	s.rep.CoreBusyNs += to - from
+}
+
+func (s *state) coreLess(a, b int32) bool {
+	fa, fb := s.coreFree[a], s.coreFree[b]
+	return fa < fb || (fa == fb && a < b)
+}
+
+func (s *state) coreSiftDown(i int) {
+	h := s.coreHeap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.coreLess(h[r], h[l]) {
+			m = r
+		}
+		if !s.coreLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		s.corePos[h[i]] = int32(i)
+		s.corePos[h[m]] = int32(m)
+		i = m
+	}
 }
 
 // chOf returns the channel of a rank.
@@ -154,7 +460,7 @@ func (s *state) runCPUHop(at float64, hop trace.Hop) float64 {
 	if mlp <= 0 {
 		mlp = 10
 	}
-	var comp []float64
+	comp := s.comp[:0]
 	issue := func(gate float64) float64 {
 		if len(comp) >= mlp {
 			if c := comp[len(comp)-mlp]; c > gate {
@@ -168,15 +474,9 @@ func (s *state) runCPUHop(at float64, hop trace.Hop) float64 {
 	// own group g-1 check. This keeps the MLP window in issue-time order —
 	// iterating task-major would falsely gate task k's first fetches on
 	// task k-1's last ones.
-	type tstate struct {
-		group     int
-		line      int
-		remaining int
-		gate      float64
-	}
-	states := make([]tstate, len(hop.Tasks))
-	for ti, task := range hop.Tasks {
-		states[ti] = tstate{remaining: task.Result.Lines, gate: t}
+	states := s.tstates[:0]
+	for _, task := range hop.Tasks {
+		states = append(states, tstate{remaining: task.Result.Lines, gate: t})
 		s.countLines(task)
 	}
 	for g := 0; g < len(cfg.GroupLines); g++ {
@@ -231,6 +531,8 @@ func (s *state) runCPUHop(at float64, hop trace.Hop) float64 {
 			hopEnd = retire
 		}
 	}
+	s.comp = comp
+	s.tstates = states
 	s.rep.DistCompNs += hopEnd - hopStart
 	hostDur := float64(hop.HostOps) * cfg.Host.OpNs
 	end := hopEnd + hostDur
@@ -245,20 +547,12 @@ func (s *state) runCPUHop(at float64, hop trace.Hop) float64 {
 // fetch over their rank-internal buses and early-terminate locally.
 // ---------------------------------------------------------------------------
 
-// subtask is one (task, segment) unit of NDP work.
-type subtask struct {
-	taskIdx int
-	seg     int
-	lines   int
-	backup  int // backup lines, charged to segment 0's unit
-	id      uint32
-	group   int
-}
-
 // runNDPDispatch executes the offload, NDP processing and polling of one
 // hop, returning the time the results are in host hands; the host-side
-// bookkeeping runs separately via runHostPost.
-func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) float64 {
+// bookkeeping runs separately via runHostPost. Units are visited in
+// ascending rank order wherever order matters (the same order the old
+// map+sort bookkeeping produced).
+func (s *state) runNDPDispatch(t float64, hop trace.Hop, chInstalled []uint64) float64 {
 	cfg := s.cfg
 	part := cfg.Part
 	if len(hop.Tasks) == 0 {
@@ -267,23 +561,27 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 
 	// Assign each task to a rank group; replicated vectors go to the
 	// least-loaded group (the §5.3 load-balancing trick).
-	byUnit := make(map[int][]subtask)
-	unitTasks := make(map[int]int)
-	taskDone := make([]float64, len(hop.Tasks))
-	hopLoad := make(map[int]int) // tentative per-group lines this hop
+	taskDone := s.taskDone[:0]
+	for range hop.Tasks {
+		taskDone = append(taskDone, 0)
+	}
+	s.taskDone = taskDone
+	for i := range s.hopLoad {
+		s.hopLoad[i] = 0
+	}
 	for ti, task := range hop.Tasks {
 		group := part.GroupOf(task.ID)
 		if part.IsReplicated(task.ID) {
-			group = s.leastLoadedGroup(hopLoad)
+			group = s.leastLoadedGroup()
 		}
-		hopLoad[group] += task.Result.Lines
+		s.hopLoad[group] += task.Result.Lines
 		full := task.Result.Accepted || task.Result.Lines >= part.LinesPerVector()
 		nfl := task.Result.LinesLocal
 		if nfl < task.Result.Lines {
 			nfl = task.Result.Lines
 		}
-		per := part.FetchedPerSegment(nfl, full)
-		for seg, n := range per {
+		s.perSeg = part.AppendFetchedPerSegment(s.perSeg[:0], nfl, full)
+		for seg, n := range s.perSeg {
 			if n == 0 && seg > 0 {
 				continue
 			}
@@ -292,19 +590,14 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 				st.backup = task.Result.BackupLines
 			}
 			u := part.RankFor(group, seg)
-			byUnit[u] = append(byUnit[u], st)
-			unitTasks[u]++
+			s.unitSub[u] = append(s.unitSub[u], st)
+			s.unitTasks[u]++
 		}
 		s.countLines(task)
 	}
 
-	// Offload: the host issues set-query (once per unit per query) and
+	// Offload: the host issues set-query (once per channel per query) and
 	// set-search WRITEs over the channel buses.
-	units := make([]int, 0, len(byUnit))
-	for u := range byUnit {
-		units = append(units, u)
-	}
-	sort.Ints(units)
 	// Each unit holds one segment of the vectors, so it only needs the
 	// matching slice of the query (§5.3: long vectors are partitioned, and
 	// the QSHR query field holds one sub-vector).
@@ -318,32 +611,38 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 	// controller (OpNs per write); the controller drains them while the
 	// core moves on. Only the per-channel DQ buses serialize the transfers,
 	// and channels proceed in parallel.
-	perCh := make(map[int]float64)
-	offloadEnd := offStart
-	writes := 0
+	for i := range s.chSet {
+		s.chSet[i] = false
+	}
 	chTime := func(ch int) float64 {
-		if tc, ok := perCh[ch]; ok {
-			return tc
+		if s.chSet[ch] {
+			return s.perCh[ch]
 		}
 		return offStart
 	}
-	for _, u := range units {
+	offloadEnd := offStart
+	writes := 0
+	ranks := len(s.unitSub)
+	for u := 0; u < ranks; u++ {
+		if len(s.unitSub[u]) == 0 {
+			continue
+		}
 		ch := s.chOf(u)
-		if key := -(ch + 1); !hasQuery[key] {
-			hasQuery[key] = true
+		if chInstalled[ch>>6]&(1<<(uint(ch)&63)) == 0 {
+			chInstalled[ch>>6] |= 1 << (uint(ch) & 63)
 			tc := chTime(ch)
 			for w := 0; w < qlines; w++ {
 				tc = s.mem.BusTransfer(tc, ch)
 			}
-			perCh[ch] = tc
+			s.perCh[ch], s.chSet[ch] = tc, true
 			writes += qlines
 		}
-		cmds := (unitTasks[u] + cfg.NDP.TasksPerSetSearch - 1) / cfg.NDP.TasksPerSetSearch
+		cmds := (s.unitTasks[u] + cfg.NDP.TasksPerSetSearch - 1) / cfg.NDP.TasksPerSetSearch
 		tc := chTime(ch)
 		for w := 0; w < cmds; w++ {
 			tc = s.mem.CommandTransfer(tc, ch)
 		}
-		perCh[ch] = tc
+		s.perCh[ch], s.chSet[ch] = tc, true
 		writes += cmds
 		if tc > offloadEnd {
 			offloadEnd = tc
@@ -359,20 +658,27 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 	// tracks each unit's work horizon as the load signal for replica
 	// selection.
 	maxDone := offloadEnd
-	unitDone := make(map[int]float64)
-	backlog := make(map[int]float64)
-	for _, u := range units {
+	numSegs := part.NumSegments()
+	for u := 0; u < ranks; u++ {
+		if len(s.unitSub[u]) == 0 {
+			continue
+		}
 		if f := s.unitFree[u]; f > offloadEnd {
 			// The host's estimate of this unit's outstanding work (its own
 			// previously offloaded batches) — feeds adaptive polling.
-			backlog[u] = f - offloadEnd
+			s.backlog[u] = f - offloadEnd
+		} else {
+			s.backlog[u] = 0
 		}
-		ut := s.runUnitBatch(u, offloadEnd, byUnit[u], taskDone)
+		ut := s.runUnitBatch(u, offloadEnd, s.unitSub[u], taskDone)
 		s.rep.NDPBusyNs += ut - offloadEnd
 		if ut > s.unitFree[u] {
 			s.unitFree[u] = ut
+			if g := u / numSegs; g < len(s.groupWorst) && ut > s.groupWorst[g] {
+				s.groupWorst[g] = ut
+			}
 		}
-		unitDone[u] = ut
+		s.unitDone[u] = ut
 		if ut > maxDone {
 			maxDone = ut
 		}
@@ -382,14 +688,26 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 	// Poll each unit for results.
 	hopEnd := maxDone
 	firstAccess := cfg.Mem.Timing.TRCD + cfg.Mem.Timing.TCL
-	for _, u := range units {
+	for u := 0; u < ranks; u++ {
+		if len(s.unitSub[u]) == 0 {
+			continue
+		}
 		// The line distribution describes sequential (whole-vector) fetches;
 		// each unit serves one of NumSegments dimension slices of a task.
-		est := s.cfg.Est.Estimate(unitTasks[u],
-			s.perLineNs()/float64(part.NumSegments()),
-			cfg.NDP.TaskFixedNs+cfg.NDP.ComputePerLineNs, backlog[u]+firstAccess)
-		next := cfg.Poll.Schedule(offloadEnd, est)
-		at, polls := polling.RetrieveAt(next, unitDone[u], 1<<20)
+		est := s.cfg.Est.Estimate(s.unitTasks[u],
+			s.perLineNs()/float64(numSegs),
+			cfg.NDP.TaskFixedNs+cfg.NDP.ComputePerLineNs, s.backlog[u]+firstAccess)
+		var at float64
+		var polls int
+		var plan polling.Plan
+		var next func(int) float64
+		if s.planner != nil {
+			plan = s.planner.Plan(offloadEnd, est)
+			at, polls = plan.RetrieveAt(s.unitDone[u], 1<<20)
+		} else {
+			next = cfg.Poll.Schedule(offloadEnd, est)
+			at, polls = polling.RetrieveAt(next, s.unitDone[u], 1<<20)
+		}
 		s.rep.PollCount += uint64(polls)
 		last := at
 		// Charge bus occupancy for the polls nearest completion (a
@@ -400,7 +718,13 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 			charge = 128
 		}
 		for i := polls - charge; i < polls; i++ {
-			done := s.mem.PollTransfer(next(i), s.chOf(u))
+			pt := 0.0
+			if s.planner != nil {
+				pt = plan.At(i)
+			} else {
+				pt = next(i)
+			}
+			done := s.mem.PollTransfer(pt, s.chOf(u))
 			if done > last {
 				last = done
 			}
@@ -410,6 +734,16 @@ func (s *state) runNDPDispatch(t float64, hop trace.Hop, hasQuery map[int]bool) 
 		}
 	}
 	s.rep.CollectNs += hopEnd - maxDone
+
+	// Return the per-unit scratch to its empty state for the next hop.
+	for u := 0; u < ranks; u++ {
+		if len(s.unitSub[u]) > 0 {
+			s.unitSub[u] = s.unitSub[u][:0]
+			s.unitTasks[u] = 0
+			s.unitDone[u] = 0
+			s.backlog[u] = 0
+		}
+	}
 	return hopEnd
 }
 
@@ -478,19 +812,13 @@ func (s *state) perLineNs() float64 {
 // leastLoadedGroup picks the rank group whose units are free earliest,
 // also counting the lines already assigned to each group within the
 // current hop (so a batch of replicated tasks spreads instead of piling
-// onto one group).
-func (s *state) leastLoadedGroup(hopLoad map[int]int) int {
-	part := s.cfg.Part
+// onto one group). groupWorst is the incrementally maintained max of each
+// group's unit frontiers.
+func (s *state) leastLoadedGroup() int {
 	lineNs := s.cfg.Mem.Timing.TBL
 	best, bestT := 0, math.Inf(1)
-	for g := 0; g < part.Groups(); g++ {
-		var worst float64
-		for seg := 0; seg < part.NumSegments(); seg++ {
-			if f := s.unitFree[part.RankFor(g, seg)]; f > worst {
-				worst = f
-			}
-		}
-		worst += float64(hopLoad[g]) * lineNs
+	for g := range s.groupWorst {
+		worst := s.groupWorst[g] + float64(s.hopLoad[g])*lineNs
 		if worst < bestT {
 			best, bestT = g, worst
 		}

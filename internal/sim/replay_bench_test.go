@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"ansmet/internal/partition"
+)
+
+// BenchmarkSimReplay times one full replay of a quick-scale trace set (the
+// shape of one experiment cell: a sustained stream of beam-search queries)
+// for a CPU design and an NDP design. The replay is the wall-clock
+// bottleneck of experiment regeneration, so both ns/op and allocs/op are
+// gated in CI (cmd/ansmet-benchgate).
+func BenchmarkSimReplay(b *testing.B) {
+	// 96 queries x 20 hops x 16 tasks, GIST-like 60-line vectors with early
+	// termination at 10 lines — the throughput regime of timedReport.
+	traces := mkTraces(96, 20, 16, 10, 60, 5, 4000, nil)
+	b.Run("CPU", func(b *testing.B) {
+		cfg := baseConfig(false, 60, partition.Hybrid, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Run(cfg, traces)
+		}
+	})
+	b.Run("NDP", func(b *testing.B) {
+		cfg := baseConfig(true, 60, partition.Hybrid, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Run(cfg, traces)
+		}
+	})
+	b.Run("NDP-window1", func(b *testing.B) {
+		cfg := baseConfig(true, 60, partition.Hybrid, 1024)
+		cfg.InFlightFactor = -1
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Run(cfg, traces)
+		}
+	})
+}

@@ -41,7 +41,7 @@ func mkTraces(nQueries, hops, batch, lines, fullLines int, acceptEvery int, nVec
 					Result: engine.Result{Dist: 1, Accepted: accepted, Lines: l, LinesLocal: l},
 				})
 			}
-			tq.Hops = append(tq.Hops, hop)
+			tq.AddHop(hop)
 		}
 		out = append(out, tq)
 	}
@@ -164,10 +164,9 @@ func TestVerticalInflatesETTraffic(t *testing.T) {
 	mk := func(linesLocal int) []*trace.Query {
 		traces := mkTraces(8, 10, 8, 5, 60, 0, 1000, nil)
 		for _, q := range traces {
-			for hi := range q.Hops {
-				for ti := range q.Hops[hi].Tasks {
-					q.Hops[hi].Tasks[ti].Result.LinesLocal = linesLocal
-				}
+			tasks := q.Tasks()
+			for ti := range tasks {
+				tasks[ti].Result.LinesLocal = linesLocal
 			}
 		}
 		return traces
@@ -242,7 +241,9 @@ func TestMissingPartPanics(t *testing.T) {
 }
 
 func TestEmptyHopsAdvanceTime(t *testing.T) {
-	tq := &trace.Query{Hops: []trace.Hop{{HostOps: 100}, {HostOps: 100}}}
+	tq := &trace.Query{}
+	tq.AddHop(trace.Hop{HostOps: 100})
+	tq.AddHop(trace.Hop{HostOps: 100})
 	rep := Run(baseConfig(true, 8, partition.Horizontal, 0), []*trace.Query{tq})
 	if rep.TraversalNs <= 0 {
 		t.Error("task-free hops must still cost traversal time")

@@ -2,6 +2,12 @@
 // functional phase (real index search with real early termination) to the
 // timing phase (event-driven replay on the CPU/NDP resource models). See
 // DESIGN.md, "Simulation methodology".
+//
+// A Query stores its comparison tasks in one flat backing array with
+// per-hop offset metadata rather than a slice-of-slices: a trace with
+// hundreds of hops costs two allocations instead of hundreds, and the
+// timing replay walks tasks with perfect locality. Hop values handed out by
+// Hop(i) (and accepted by AddHop) are views over that storage.
 package trace
 
 import "ansmet/internal/engine"
@@ -18,6 +24,8 @@ type Task struct {
 // Hop is one dependent step of index traversal: the batch of comparison
 // tasks issued together (e.g. the unvisited neighbors of the vertex popped
 // from the search set). Hop h+1 cannot start before hop h's results return.
+// Values returned by Query.Hop alias the query's flat task storage, so
+// mutating Tasks elements updates the trace in place.
 type Hop struct {
 	// Level is the index layer (HNSW) or -1 for non-layered phases.
 	Level int
@@ -28,37 +36,101 @@ type Hop struct {
 	HostOps int
 }
 
-// Query is the complete trace of one search.
-type Query struct {
-	Hops      []Hop
-	ResultIDs []uint32
+// hopMeta locates one hop inside the flat task array.
+type hopMeta struct {
+	level   int32
+	hostOps int32
+	start   int32
+	n       int32
 }
 
-// AddHop appends a hop; nil receivers are tolerated so tracing can be
-// switched off by passing a nil *Query.
+// Query is the complete trace of one search.
+type Query struct {
+	hops      []hopMeta
+	tasks     []Task
+	ResultIDs []uint32
+
+	// openStart is the task offset of a BeginHop that has not been sealed
+	// by EndHop yet (-1 when no hop is open).
+	openStart int32
+	openLevel int32
+}
+
+// AddHop appends a hop, copying its tasks into the flat storage; nil
+// receivers are tolerated so tracing can be switched off by passing a nil
+// *Query.
 func (q *Query) AddHop(h Hop) {
 	if q == nil {
 		return
 	}
-	q.Hops = append(q.Hops, h)
+	q.hops = append(q.hops, hopMeta{
+		level:   int32(h.Level),
+		hostOps: int32(h.HostOps),
+		start:   int32(len(q.tasks)),
+		n:       int32(len(h.Tasks)),
+	})
+	q.tasks = append(q.tasks, h.Tasks...)
 }
 
-// TotalTasks counts comparison tasks across all hops.
-func (q *Query) TotalTasks() int {
-	n := 0
-	for _, h := range q.Hops {
-		n += len(h.Tasks)
+// BeginHop opens a hop that tasks are appended to with AddTask and that
+// EndHop seals — the allocation-free way for a search to record a hop
+// without building a temporary Task slice.
+func (q *Query) BeginHop(level int) {
+	if q == nil {
+		return
 	}
-	return n
+	q.openStart = int32(len(q.tasks))
+	q.openLevel = int32(level)
 }
+
+// AddTask appends a task to the hop opened by BeginHop.
+func (q *Query) AddTask(t Task) {
+	if q == nil {
+		return
+	}
+	q.tasks = append(q.tasks, t)
+}
+
+// EndHop seals the hop opened by BeginHop with its host-side op count.
+func (q *Query) EndHop(hostOps int) {
+	if q == nil {
+		return
+	}
+	q.hops = append(q.hops, hopMeta{
+		level:   q.openLevel,
+		hostOps: int32(hostOps),
+		start:   q.openStart,
+		n:       int32(len(q.tasks)) - q.openStart,
+	})
+	q.openStart = int32(len(q.tasks))
+}
+
+// NumHops returns the number of recorded hops.
+func (q *Query) NumHops() int { return len(q.hops) }
+
+// Hop returns the i-th hop as a view: Tasks aliases the flat storage (full
+// slice expression, so an append by the caller cannot clobber later hops).
+func (q *Query) Hop(i int) Hop {
+	m := q.hops[i]
+	end := m.start + m.n
+	return Hop{
+		Level:   int(m.level),
+		HostOps: int(m.hostOps),
+		Tasks:   q.tasks[m.start:end:end],
+	}
+}
+
+// Tasks returns all comparison tasks across hops, in issue order.
+func (q *Query) Tasks() []Task { return q.tasks }
+
+// TotalTasks counts comparison tasks across all hops.
+func (q *Query) TotalTasks() int { return len(q.tasks) }
 
 // TotalLines counts all fetched 64 B lines (primary + backup).
 func (q *Query) TotalLines() int {
 	n := 0
-	for _, h := range q.Hops {
-		for _, t := range h.Tasks {
-			n += t.Result.TotalLines()
-		}
+	for i := range q.tasks {
+		n += q.tasks[i].Result.TotalLines()
 	}
 	return n
 }
@@ -66,11 +138,9 @@ func (q *Query) TotalLines() int {
 // AcceptedTasks counts tasks whose vector passed the threshold.
 func (q *Query) AcceptedTasks() int {
 	n := 0
-	for _, h := range q.Hops {
-		for _, t := range h.Tasks {
-			if t.Result.Accepted {
-				n++
-			}
+	for i := range q.tasks {
+		if q.tasks[i].Result.Accepted {
+			n++
 		}
 	}
 	return n
@@ -79,11 +149,9 @@ func (q *Query) AcceptedTasks() int {
 // EarlyTerminated counts tasks that stopped before a full fetch.
 func (q *Query) EarlyTerminated(fullLines int) int {
 	n := 0
-	for _, h := range q.Hops {
-		for _, t := range h.Tasks {
-			if !t.Result.Accepted && t.Result.Lines < fullLines {
-				n++
-			}
+	for i := range q.tasks {
+		if t := &q.tasks[i]; !t.Result.Accepted && t.Result.Lines < fullLines {
+			n++
 		}
 	}
 	return n

@@ -7,18 +7,15 @@ import (
 )
 
 func sample() *Query {
-	return &Query{
-		Hops: []Hop{
-			{Level: 2, HostOps: 4, Tasks: []Task{
-				{ID: 1, Threshold: 10, Result: engine.Result{Dist: 3, Accepted: true, Lines: 4, LinesLocal: 4}},
-			}},
-			{Level: 0, HostOps: 8, Tasks: []Task{
-				{ID: 2, Threshold: 5, Result: engine.Result{Dist: 7, Lines: 1, LinesLocal: 2}},
-				{ID: 3, Threshold: 5, Result: engine.Result{Dist: 4, Accepted: true, Lines: 4, BackupLines: 2}},
-			}},
-		},
-		ResultIDs: []uint32{1, 3},
-	}
+	q := &Query{ResultIDs: []uint32{1, 3}}
+	q.AddHop(Hop{Level: 2, HostOps: 4, Tasks: []Task{
+		{ID: 1, Threshold: 10, Result: engine.Result{Dist: 3, Accepted: true, Lines: 4, LinesLocal: 4}},
+	}})
+	q.AddHop(Hop{Level: 0, HostOps: 8, Tasks: []Task{
+		{ID: 2, Threshold: 5, Result: engine.Result{Dist: 7, Lines: 1, LinesLocal: 2}},
+		{ID: 3, Threshold: 5, Result: engine.Result{Dist: 4, Accepted: true, Lines: 4, BackupLines: 2}},
+	}})
+	return q
 }
 
 func TestQueryCounters(t *testing.T) {
@@ -43,7 +40,55 @@ func TestAddHopNilSafe(t *testing.T) {
 	q.AddHop(Hop{}) // must not panic
 	real := &Query{}
 	real.AddHop(Hop{Level: 1})
-	if len(real.Hops) != 1 {
+	if real.NumHops() != 1 {
 		t.Errorf("AddHop did not append")
+	}
+}
+
+func TestBuilderMatchesAddHop(t *testing.T) {
+	var nilQ *Query
+	nilQ.BeginHop(0)
+	nilQ.AddTask(Task{})
+	nilQ.EndHop(1) // must not panic
+
+	want := sample()
+	got := &Query{ResultIDs: []uint32{1, 3}}
+	for i := 0; i < want.NumHops(); i++ {
+		h := want.Hop(i)
+		got.BeginHop(h.Level)
+		for _, task := range h.Tasks {
+			got.AddTask(task)
+		}
+		got.EndHop(h.HostOps)
+	}
+	if got.NumHops() != want.NumHops() || got.TotalTasks() != want.TotalTasks() {
+		t.Fatalf("builder shape mismatch: %d/%d hops, %d/%d tasks",
+			got.NumHops(), want.NumHops(), got.TotalTasks(), want.TotalTasks())
+	}
+	for i := 0; i < want.NumHops(); i++ {
+		a, b := got.Hop(i), want.Hop(i)
+		if a.Level != b.Level || a.HostOps != b.HostOps || len(a.Tasks) != len(b.Tasks) {
+			t.Fatalf("hop %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Tasks {
+			if a.Tasks[j] != b.Tasks[j] {
+				t.Fatalf("hop %d task %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestHopViewAliasesStorage(t *testing.T) {
+	q := sample()
+	h := q.Hop(1)
+	h.Tasks[0].Result.LinesLocal = 99
+	if q.Hop(1).Tasks[0].Result.LinesLocal != 99 {
+		t.Error("Hop view does not alias the flat task storage")
+	}
+	// Appending to a hop view must not clobber the next hop's tasks.
+	h0 := q.Hop(0)
+	_ = append(h0.Tasks, Task{ID: 777})
+	if q.Hop(1).Tasks[0].ID != 2 {
+		t.Error("append through a hop view clobbered the following hop")
 	}
 }
