@@ -59,6 +59,15 @@ var (
 	ErrDimension = errors.New("ansmet: query dimension mismatch")
 )
 
+// IsInvalidInput reports whether err is one of the typed query-validation
+// errors (ErrBadK, ErrBadEf, ErrBadQuery, ErrDimension) — the class a
+// serving layer should map to a client fault (HTTP 400) rather than a
+// server fault.
+func IsInvalidInput(err error) bool {
+	return errors.Is(err, ErrBadK) || errors.Is(err, ErrBadEf) ||
+		errors.Is(err, ErrBadQuery) || errors.Is(err, ErrDimension)
+}
+
 // validateQuery applies the typed input checks shared by every search
 // entry point.
 func (db *Database) validateQuery(q []float32, k, ef int) error {
@@ -261,8 +270,16 @@ func New(vectors [][]float32, opts Options) (*Database, error) {
 // Len returns the number of indexed vectors.
 func (db *Database) Len() int { return len(db.vectors) }
 
-// Vector returns the stored (quantized) vector with the given id.
-func (db *Database) Vector(id uint32) []float32 { return db.vectors[id] }
+// Vector returns the stored (quantized) vector with the given id and
+// whether the id exists. Out-of-range ids return (nil, false) — ids are
+// routinely caller-controlled (request payloads, persisted result lists),
+// so this entry point must not panic on a bad one.
+func (db *Database) Vector(id uint32) ([]float32, bool) {
+	if int(id) >= len(db.vectors) {
+		return nil, false
+	}
+	return db.vectors[id], true
+}
 
 // Search returns the k approximate nearest neighbors of q using a beam
 // width of max(2k, 32).
@@ -305,8 +322,15 @@ func (db *Database) SearchInto(q []float32, k, ef int, dst []Neighbor) ([]Neighb
 // Len()×Stats().LinesPerVector. Falls back to a full scan for the Base
 // designs, which have no early-termination store.
 func (db *Database) ExactSearch(q []float32, k int) ([]Neighbor, int, error) {
+	nn, lines, _, err := db.exactSearch(nil, q, k)
+	return nn, lines, err
+}
+
+// exactSearch is the shared core of ExactSearch and ExactSearchCtx: a nil
+// done channel disables cancellation entirely.
+func (db *Database) exactSearch(done <-chan struct{}, q []float32, k int) ([]Neighbor, int, bool, error) {
 	if err := db.validateQuery(q, k, k); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	s := db.getScratch()
 	defer db.putScratch(s)
@@ -319,20 +343,32 @@ func (db *Database) ExactSearch(q []float32, k int) ([]Neighbor, int, error) {
 		if !ok {
 			et = db.sys.Store.NewETEngine(db.opts.Metric)
 		}
-		nn, lines := et.ExactKNN(qq, k)
-		return nn, lines, nil
+		nn, lines, cancelled := et.ExactKNNCtx(done, qq, k)
+		return nn, lines, cancelled, nil
 	}
-	// Base designs: plain full scan.
+	// Base designs: plain full scan, with the same amortized checkpoint
+	// stride as the ET path.
 	eng := core.MustExactEngine(db.vectors, db.opts.Metric, db.opts.Elem)
 	eng.StartQuery(qq)
 	var best []Neighbor
 	lines := 0
+	cancelled := false
 	for id := range db.vectors {
+		if done != nil && id%256 == 0 {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
 		r := eng.Compare(uint32(id), maxFloat)
 		lines += r.Lines
 		best = insertTopK(best, Neighbor{ID: uint32(id), Dist: r.Dist}, k)
 	}
-	return best, lines, nil
+	return best, lines, cancelled, nil
 }
 
 const maxFloat = 1.797693134862315708145274237317043567981e+308
@@ -402,9 +438,20 @@ const searchManyChunk = 16
 // outside the resilient path) does not crash the process: the remaining
 // queries are cancelled and the panic is returned as an error.
 func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Neighbor, error) {
+	out, _, err := db.searchMany(nil, queries, k, ef, workers)
+	return out, err
+}
+
+// searchMany is the shared worker pool behind SearchMany and
+// SearchManyCtx. A nil done channel disables cancellation. When done
+// fires, workers stop claiming new queries (checked once per query) and
+// the in-flight traversals observe the same channel through their own
+// checkpoints; completed queries keep their slot in out, unstarted ones
+// stay nil.
+func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef, workers int) ([][]Neighbor, bool, error) {
 	for i, q := range queries {
 		if err := db.validateQuery(q, k, ef); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+			return nil, false, fmt.Errorf("query %d: %w", i, err)
 		}
 	}
 	if workers <= 0 {
@@ -423,11 +470,12 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 	out := make([][]Neighbor, len(queries))
 	nchunks := (len(queries) + searchManyChunk - 1) / searchManyChunk
 	var (
-		wg       sync.WaitGroup
-		next     = int64(-1)
-		stop     atomic.Bool
-		panicMu  sync.Mutex
-		panicErr error
+		wg        sync.WaitGroup
+		next      = int64(-1)
+		stop      atomic.Bool
+		cancelled atomic.Bool
+		panicMu   sync.Mutex
+		panicErr  error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -456,11 +504,29 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 					hi = len(queries)
 				}
 				for i := lo; i < hi && !stop.Load(); i++ {
+					if done != nil {
+						select {
+						case <-done:
+							cancelled.Store(true)
+							stop.Store(true)
+							return
+						default:
+						}
+					}
 					if searchManyTestHook != nil {
 						searchManyTestHook(i)
 					}
 					qq := s.quantize(queries[i], db.opts.Elem)
-					s.buf = db.sys.Index.SearchBatchedInto(qq, k, ef, batch, s.eng, nil, s.buf)
+					var qc bool
+					s.buf, qc = db.sys.Index.SearchCancelInto(done, qq, k, ef, batch, nil, s.eng, nil, s.buf)
+					if qc {
+						// Mid-traversal cancel: drop the partial per-query
+						// result (per-query partials are not useful inside a
+						// batch) and stop the pool.
+						cancelled.Store(true)
+						stop.Store(true)
+						return
+					}
 					res := make([]Neighbor, len(s.buf))
 					copy(res, s.buf)
 					out[i] = res
@@ -470,9 +536,9 @@ func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Nei
 	}
 	wg.Wait()
 	if panicErr != nil {
-		return nil, panicErr
+		return nil, false, panicErr
 	}
-	return out, nil
+	return out, cancelled.Load(), nil
 }
 
 // System exposes the underlying preprocessed system for advanced use

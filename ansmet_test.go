@@ -161,7 +161,10 @@ func TestQuantizationOnIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := db.Vector(0)
+	v, ok := db.Vector(0)
+	if !ok {
+		t.Fatal("vector 0 missing")
+	}
 	for _, x := range v {
 		if x != float32(int(x)) || x < 0 || x > 255 {
 			t.Fatalf("stored value %v not uint8-representable", x)

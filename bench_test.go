@@ -10,11 +10,13 @@
 package ansmet_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"ansmet"
 	"ansmet/internal/bitplane"
@@ -296,6 +298,30 @@ func BenchmarkSearchAllocs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if dst, err = db.SearchInto(ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchWithDeadline measures the steady-state cost of the
+// deadline-aware path (SearchCtxInto with a live context): the cooperative
+// cancellation checkpoints must keep the gated budget of 0 allocs/op, and
+// the time delta vs BenchmarkSearchAllocs is the whole price of deadline
+// support.
+func BenchmarkSearchWithDeadline(b *testing.B) {
+	db := benchDB()
+	ds := benchData()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	var dst []ansmet.Neighbor
+	var err error
+	if dst, err = db.SearchCtxInto(ctx, ds.Queries[0], 10, 64, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = db.SearchCtxInto(ctx, ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,16 +34,16 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent")
+	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve")
 	n := flag.Int("n", 400, "dataset size")
 	nq := flag.Int("q", 8, "query count")
 	seed := flag.Uint64("seed", 99, "fault schedule seed")
 	flag.Parse()
 
 	switch *scenario {
-	case "all", "recoverable", "crash", "silent":
+	case "all", "recoverable", "crash", "silent", "serve":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash or silent)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent or serve)\n", *scenario)
 		os.Exit(2)
 	}
 	if *n < 50 || *nq < 1 {
@@ -76,6 +76,11 @@ func main() {
 	if sel == "all" || sel == "silent" {
 		run("silent (stored-line bit flips, recall floor)", func() error {
 			return runSilent(*n, *nq, *seed)
+		})
+	}
+	if sel == "all" || sel == "serve" {
+		run("serve (HTTP soak: overload, cancels, garbage, panics, drain)", func() error {
+			return runServeSoak(*n, *seed)
 		})
 	}
 	if failed {

@@ -1,0 +1,227 @@
+// Serve-mode soak: runs a real ansmet-serve stack (listener, HTTP server,
+// admission control, panic containment, drain) under hostile traffic —
+// overload bursts, random client cancellations, garbage and oversized
+// bodies, injected panics — and checks the serving invariants:
+//
+//   - overload is shed with 429s, never by queueing without bound;
+//   - no response is a 5xx except the injected panic probes (500);
+//   - malformed input maps to 4xx, never to a crash;
+//   - SIGTERM-style drain completes within its deadline;
+//   - the process leaks no goroutines once the soak ends.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"ansmet"
+	"ansmet/internal/dataset"
+	"ansmet/internal/serve"
+)
+
+func runServeSoak(n int, seed uint64) error {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, n, 8, 51)
+	db, err := ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: p.Metric, Elem: p.Elem, EfConstruction: 60, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+
+	core, err := serve.New(serve.Config{
+		Search: func(ctx context.Context, q []float32, k, ef int) ([]ansmet.Neighbor, error) {
+			return db.SearchEfCtx(ctx, q, k, ef)
+		},
+		BadRequest:     ansmet.IsInvalidInput,
+		DefaultTimeout: 2 * time.Second,
+		MaxBodyBytes:   4096,
+		Admission: serve.AdmissionConfig{
+			RatePerSec: 150, Burst: 8, MaxConcurrent: 4, MaxQueue: 4,
+		},
+		AllowPanicProbe: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: core.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	queryBody := func(qi, k int) []byte {
+		b, _ := json.Marshal(serve.SearchRequest{Query: ds.Queries[qi%len(ds.Queries)], K: k})
+		return b
+	}
+	post := func(ctx context.Context, body []byte) (int, error) {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/search", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// postPatiently retries through 429s: admission is checked before the
+	// body is read (shed before work), so after an overload burst even
+	// malformed requests are rate-limited until the bucket refills.
+	postPatiently := func(ctx context.Context, body []byte) (int, error) {
+		for i := 0; ; i++ {
+			code, err := post(ctx, body)
+			if err != nil || code != 429 || i >= 100 {
+				return code, err
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Warm up, then take the goroutine baseline the leak check compares to.
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if code, err := post(ctx, queryBody(i, 5)); err != nil || code != 200 {
+			return fmt.Errorf("warmup request %d: code %d, err %v", i, code, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	rng := rand.New(rand.NewSource(int64(seed)))
+	unexpected5xx := 0
+
+	// Phase 1: overload burst. Far more concurrent requests than the
+	// admission budget (rate 150/s, burst 8, 4+4 slots/queue) — the excess
+	// must come back as 429 with Retry-After, not as 5xx or a hang.
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		counts = map[int]int{}
+	)
+	for i := 0; i < 96; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, err := post(ctx, queryBody(i, 5))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			counts[code]++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if counts[429] == 0 {
+		return fmt.Errorf("overload burst: no request shed with 429 (counts %v)", counts)
+	}
+	for code, c := range counts {
+		if code >= 500 {
+			return fmt.Errorf("overload burst: %d responses with status %d, want none", c, code)
+		}
+	}
+	fmt.Printf("    overload burst: %v (shed with 429, no 5xx)\n", counts)
+
+	// Phase 2: random client cancellations mid-request. The server must
+	// absorb abandoned requests without errors or goroutine leaks (checked
+	// at the end).
+	cancels := 0
+	for i := 0; i < 48; i++ {
+		cctx, cancel := context.WithTimeout(ctx, time.Duration(rng.Intn(1500))*time.Microsecond)
+		if _, err := post(cctx, queryBody(i, 5)); err != nil {
+			cancels++
+		}
+		cancel()
+	}
+	fmt.Printf("    client cancels: %d/48 abandoned mid-flight\n", cancels)
+
+	// Phase 3: hostile bodies. Garbage JSON and shape violations map to
+	// 400, oversized bodies to 413 — never 5xx.
+	for _, body := range []string{
+		"", "{", `{"query":"zap"}`, "\x00\xff\x17garbage", `{"query":[]}`,
+		`{"query":[1,2,3],"k":-4}`, `{"query":[1,2,3]}`, // wrong dimension → classifier 400
+	} {
+		code, err := postPatiently(ctx, []byte(body))
+		if err != nil {
+			return fmt.Errorf("garbage body %q: %v", body, err)
+		}
+		if code != 400 {
+			unexpected5xx++
+			return fmt.Errorf("garbage body %q: status %d, want 400", body, code)
+		}
+	}
+	big := `{"query":[` + strings.Repeat("1,", 8000) + `1]}`
+	if code, err := postPatiently(ctx, []byte(big)); err != nil || code != 413 {
+		return fmt.Errorf("oversized body: code %d, err %v, want 413", code, err)
+	}
+	fmt.Printf("    hostile bodies: 400s and 413 as expected\n")
+
+	// Phase 4: injected panics. Each probe is contained to its own 500 and
+	// the server keeps serving.
+	const probes = 3
+	for i := 0; i < probes; i++ {
+		b, _ := json.Marshal(serve.SearchRequest{Query: ds.Queries[0], K: 3, Panic: true})
+		if code, err := postPatiently(ctx, b); err != nil || code != 500 {
+			return fmt.Errorf("panic probe %d: code %d, err %v, want 500", i, code, err)
+		}
+	}
+	if got := core.Metrics().Panics.Load(); got != probes {
+		return fmt.Errorf("panic counter = %d, want %d", got, probes)
+	}
+	if code, err := postPatiently(ctx, queryBody(0, 5)); err != nil || code != 200 {
+		return fmt.Errorf("post-panic request: code %d, err %v, want 200", code, err)
+	}
+	fmt.Printf("    panic probes: %d contained to 500s, server still serving\n", probes)
+	if unexpected5xx != 0 {
+		return fmt.Errorf("%d responses were 5xx outside the injected panics", unexpected5xx)
+	}
+
+	// Phase 5: graceful drain. Readiness flips to 503, in-flight requests
+	// finish, and Shutdown returns well inside the deadline.
+	core.Drain()
+	if resp, err := client.Get(base + "/v1/ready"); err != nil || resp.StatusCode != 503 {
+		return fmt.Errorf("ready during drain: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain overran its deadline: %v", err)
+	}
+	fmt.Printf("    drain: shutdown completed inside deadline\n")
+
+	// Phase 6: goroutine leak check. Everything the soak spawned must
+	// settle back to (about) the pre-soak baseline.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			fmt.Printf("    goroutines: %d (baseline %d) — no leak\n", g, baseline)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d alive, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+// Command ansmet-serve exposes an ANSMET database over HTTP/JSON with the
+// request-layer robustness the library alone cannot provide: per-request
+// deadlines propagated cooperatively into the search loops, token-bucket +
+// bounded-queue admission control that sheds load with 429s before doing
+// work, panic-to-500 containment, and graceful drain on SIGTERM (stop
+// accepting, finish in-flight up to -drain, then hard-cancel stragglers
+// through the context plumbing).
+//
+// Endpoints:
+//
+//	POST /v1/search  {"query":[...], "k":10, "ef":64, "timeout_ms":500}
+//	GET  /v1/health  liveness (200 while the process runs)
+//	GET  /v1/ready   readiness (503 while draining)
+//	GET  /debug/vars serving + admission counters, JSON
+//
+// Usage:
+//
+//	ansmet-serve -db snapshot.db                 # serve a SaveFile snapshot
+//	ansmet-serve -synth 5000 -profile SIFT       # demo: synthetic dataset
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/search -d '{"query":[...128 floats...],"k":5}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ansmet"
+	"ansmet/internal/dataset"
+	"ansmet/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dbPath  = flag.String("db", "", "snapshot written by SaveFile (empty: build synthetic)")
+		synth   = flag.Int("synth", 2000, "synthetic dataset size when -db is empty")
+		profile = flag.String("profile", "SIFT", "synthetic dataset profile (SIFT, DEEP, SPACEV, ...)")
+		timeout = flag.Duration("timeout", 2*time.Second, "default per-request search deadline")
+		maxTO   = flag.Duration("max-timeout", 10*time.Second, "cap on client-requested deadlines")
+		rate    = flag.Float64("rate", 0, "sustained admission rate, requests/s (0: unlimited)")
+		burst   = flag.Int("burst", 0, "token bucket burst (0: rate-derived)")
+		conc    = flag.Int("concurrency", 0, "max concurrent searches (0: 8)")
+		queue   = flag.Int("queue", 0, "admission queue depth beyond concurrency (0: 2x concurrency)")
+		body    = flag.Int64("max-body", 1<<20, "request body size limit, bytes")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+		panicOK = flag.Bool("allow-panic-probe", false, "honor {\"panic\":true} chaos probes (testing only)")
+	)
+	flag.Parse()
+
+	db, err := openDatabase(*dbPath, *profile, *synth)
+	if err != nil {
+		log.Fatalf("ansmet-serve: %v", err)
+	}
+	st := db.Stats()
+	log.Printf("database ready: %d vectors, dim %d, design %v", st.Vectors, st.Dim, st.Design)
+
+	srvCore, err := serve.New(serve.Config{
+		Search: func(ctx context.Context, q []float32, k, ef int) ([]ansmet.Neighbor, error) {
+			return db.SearchEfCtx(ctx, q, k, ef)
+		},
+		BadRequest:     ansmet.IsInvalidInput,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		MaxBodyBytes:   *body,
+		Admission: serve.AdmissionConfig{
+			RatePerSec:    *rate,
+			Burst:         *burst,
+			MaxConcurrent: *conc,
+			MaxQueue:      *queue,
+		},
+		AllowPanicProbe: *panicOK,
+	})
+	if err != nil {
+		log.Fatalf("ansmet-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srvCore.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ansmet-serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v: draining (deadline %v)", s, *drain)
+	}
+
+	// Graceful drain: readiness goes 503, new searches are refused,
+	// in-flight ones finish — up to the drain deadline, after which the
+	// context plumbing hard-cancels the stragglers.
+	srvCore.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("drain deadline passed (%v): hard-cancelling in-flight searches", err)
+		srvCore.HardCancel()
+		httpSrv.Close()
+	}
+	log.Printf("drained cleanly")
+}
+
+// openDatabase loads a snapshot or builds a synthetic demo database.
+func openDatabase(path, profile string, synth int) (*ansmet.Database, error) {
+	if path != "" {
+		db, err := ansmet.LoadFile(path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		return db, nil
+	}
+	if synth < 50 {
+		return nil, errors.New("-synth must be at least 50")
+	}
+	p := dataset.ProfileByName(profile)
+	ds := dataset.Generate(p, synth, 1, 42)
+	log.Printf("building synthetic %s database (%d vectors, dim %d)...", profile, synth, p.Dim)
+	return ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: p.Metric, Elem: p.Elem, EfConstruction: 100, Seed: 42,
+	})
+}

@@ -1,0 +1,168 @@
+package ansmet
+
+import (
+	"context"
+	"fmt"
+)
+
+// Typed cancellation errors, matched with errors.Is. Every context-aware
+// search entry point (SearchCtx, SearchManyCtx, ExactSearchCtx) returns a
+// *CancelError wrapping one of these when the context expires or is
+// cancelled; the wrapper additionally reports whether the accompanying
+// result slice holds a usable partial answer.
+var (
+	// ErrDeadlineExceeded reports a search stopped by its context deadline.
+	ErrDeadlineExceeded = fmt.Errorf("ansmet: search deadline exceeded")
+	// ErrCanceled reports a search stopped by explicit context cancellation.
+	ErrCanceled = fmt.Errorf("ansmet: search canceled")
+)
+
+// CancelError is the error returned by the context-aware search APIs when
+// the context fires. It distinguishes the two outcomes a caller cares
+// about:
+//
+//   - Partial == true: the search produced a usable prefix of the answer
+//     (best results found so far, sorted). Serving layers can return these
+//     with a "partial" marker instead of failing the request outright.
+//   - Partial == false: the search aborted before producing anything; the
+//     result slice is empty.
+//
+// CancelError matches both the package sentinels (ErrDeadlineExceeded,
+// ErrCanceled) and the context package's sentinels via errors.Is, so
+// callers holding only a context can classify without importing new names.
+type CancelError struct {
+	// Err is ErrDeadlineExceeded or ErrCanceled.
+	Err error
+	// Partial reports whether the returned results are a usable partial
+	// answer (true) or the search aborted empty (false).
+	Partial bool
+}
+
+func (e *CancelError) Error() string {
+	if e.Partial {
+		return e.Err.Error() + " (partial results available)"
+	}
+	return e.Err.Error() + " (aborted)"
+}
+
+// Unwrap exposes the sentinel for errors.Is(err, ErrDeadlineExceeded) etc.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// Is additionally matches the context package's sentinels, so
+// errors.Is(err, context.DeadlineExceeded) works too.
+func (e *CancelError) Is(target error) bool {
+	switch target {
+	case context.DeadlineExceeded:
+		return e.Err == ErrDeadlineExceeded
+	case context.Canceled:
+		return e.Err == ErrCanceled
+	}
+	return false
+}
+
+// cancelErr maps the context's state to the package's typed error. Called
+// only after the context has fired (or a cooperative checkpoint observed
+// done); a context cancelled with a custom cause still classifies as
+// ErrCanceled.
+func cancelErr(ctx context.Context, partial bool) error {
+	e := &CancelError{Err: ErrCanceled, Partial: partial}
+	if ctx.Err() == context.DeadlineExceeded {
+		e.Err = ErrDeadlineExceeded
+	}
+	return e
+}
+
+// SearchCtx is Search with cooperative cancellation: the traversal polls
+// ctx.Done() at amortized checkpoints (every few hops — see
+// internal/hnsw.SearchCancelInto) and stops within one checkpoint interval
+// of the context firing. An already-expired context is rejected up front
+// without touching the index. On cancellation the best results found so
+// far are returned alongside a *CancelError whose Partial field reports
+// whether they are usable.
+//
+// A search whose context never fires behaves exactly like Search and, at
+// steady state, allocates nothing beyond the result slice (the checkpoint
+// is a counter increment plus a non-blocking channel poll).
+func (db *Database) SearchCtx(ctx context.Context, q []float32, k int) ([]Neighbor, error) {
+	ef := 2 * k
+	if ef < 32 {
+		ef = 32
+	}
+	return db.SearchEfCtx(ctx, q, k, ef)
+}
+
+// SearchEfCtx is SearchCtx with an explicit beam width.
+func (db *Database) SearchEfCtx(ctx context.Context, q []float32, k, ef int) ([]Neighbor, error) {
+	return db.SearchCtxInto(ctx, q, k, ef, nil)
+}
+
+// SearchCtxInto is SearchEfCtx appending results into dst[:0]; with a
+// reused dst the un-cancelled steady state performs zero heap allocations
+// (gated by BenchmarkSearchWithDeadline in CI).
+func (db *Database) SearchCtxInto(ctx context.Context, q []float32, k, ef int, dst []Neighbor) ([]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		// Expired before we started: reject without touching the index.
+		return nil, cancelErr(ctx, false)
+	}
+	if err := db.validateQuery(q, k, ef); err != nil {
+		return nil, err
+	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qq := s.quantize(q, db.opts.Elem)
+	batch := db.sys.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	out, cancelled := db.sys.Index.SearchCancelInto(ctx.Done(), qq, k, ef, batch, nil, s.eng, nil, dst)
+	if cancelled {
+		return out, cancelErr(ctx, len(out) > 0)
+	}
+	return out, nil
+}
+
+// ExactSearchCtx is ExactSearch with cooperative cancellation. On
+// cancellation it returns the best neighbors over the prefix of the
+// database scanned so far — a usable approximate answer, but NOT the exact
+// one — together with a *CancelError (Partial reports whether any prefix
+// was scanned). An already-expired context is rejected up front.
+func (db *Database) ExactSearchCtx(ctx context.Context, q []float32, k int) ([]Neighbor, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, cancelErr(ctx, false)
+	}
+	nn, lines, cancelled, err := db.exactSearch(ctx.Done(), q, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cancelled {
+		return nn, lines, cancelErr(ctx, len(nn) > 0)
+	}
+	return nn, lines, nil
+}
+
+// SearchManyCtx is SearchMany with cooperative cancellation: workers stop
+// claiming new queries within one query of the context firing, and the
+// per-query traversals themselves observe the same done channel. On
+// cancellation the per-query result slice is returned as-is — completed
+// queries hold their results, unstarted ones are nil — together with a
+// *CancelError whose Partial field reports whether any query completed.
+func (db *Database) SearchManyCtx(ctx context.Context, queries [][]float32, k, ef, workers int) ([][]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(ctx, false)
+	}
+	out, cancelled, err := db.searchMany(ctx.Done(), queries, k, ef, workers)
+	if err != nil {
+		return nil, err
+	}
+	if cancelled {
+		partial := false
+		for _, r := range out {
+			if r != nil {
+				partial = true
+				break
+			}
+		}
+		return out, cancelErr(ctx, partial)
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package ansmet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// expiredCtx returns a context whose deadline already passed.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	t.Cleanup(cancel)
+	if ctx.Err() == nil {
+		t.Fatal("context not expired")
+	}
+	return ctx
+}
+
+// TestSearchCtxExpiredDeadline: an already-expired context is rejected up
+// front — typed error, no results, and the index is never touched (proved
+// by passing a query the validator would otherwise reject).
+func TestSearchCtxExpiredDeadline(t *testing.T) {
+	db := tinyDB(t)
+	ctx := expiredCtx(t)
+	q := make([]float32, 8)
+
+	nn, err := db.SearchCtx(ctx, q, 5)
+	if nn != nil {
+		t.Fatalf("expired ctx returned %d results, want none", len(nn))
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(ErrDeadlineExceeded)", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Partial {
+		t.Fatalf("err = %#v, want *CancelError with Partial=false", err)
+	}
+
+	// A wrong-dimension query normally fails validation with ErrDimension;
+	// on an expired context the deadline error wins because validation (and
+	// everything after it) is never reached.
+	_, err = db.SearchCtx(ctx, make([]float32, 3), 5)
+	if errors.Is(err, ErrDimension) || !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx with bad query: err = %v, want deadline error (index untouched)", err)
+	}
+
+	if _, _, err := db.ExactSearchCtx(ctx, q, 5); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("ExactSearchCtx err = %v, want ErrDeadlineExceeded", err)
+	}
+	if _, err := db.SearchManyCtx(ctx, [][]float32{q}, 5, 10, 1); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("SearchManyCtx err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestSearchCtxCanceled: explicit cancellation classifies as ErrCanceled
+// (and context.Canceled), distinct from the deadline sentinel.
+func TestSearchCtxCanceled(t *testing.T) {
+	db := tinyDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.SearchCtx(ctx, make([]float32, 8), 5)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled / context.Canceled", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v matches the deadline sentinels, want cancel only", err)
+	}
+}
+
+// TestSearchCtxMatchesSearch: a context that never fires must not change a
+// single result bit relative to the plain entry points.
+func TestSearchCtxMatchesSearch(t *testing.T) {
+	db := tinyDB(t)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		q, _ := db.Vector(uint32(i * 7))
+		want, err := db.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.SearchCtx(ctx, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q%d: %d results, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("q%d result %d: %+v != %+v", i, j, got[j], want[j])
+			}
+		}
+
+		wantNN, wantLines, err := db.ExactSearch(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNN, gotLines, err := db.ExactSearchCtx(ctx, q, 5)
+		if err != nil || gotLines != wantLines || len(gotNN) != len(wantNN) {
+			t.Fatalf("q%d exact: err=%v lines=%d/%d n=%d/%d",
+				i, err, gotLines, wantLines, len(gotNN), len(wantNN))
+		}
+		for j := range wantNN {
+			if gotNN[j] != wantNN[j] {
+				t.Fatalf("q%d exact result %d: %+v != %+v", i, j, gotNN[j], wantNN[j])
+			}
+		}
+	}
+}
+
+// TestSearchCtxInvalidInput: a live context still surfaces the input
+// validation sentinels (and IsInvalidInput classifies them).
+func TestSearchCtxInvalidInput(t *testing.T) {
+	db := tinyDB(t)
+	ctx := context.Background()
+	if _, err := db.SearchCtx(ctx, make([]float32, 3), 5); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+	_, err := db.SearchCtx(ctx, make([]float32, 8), 0)
+	if !errors.Is(err, ErrBadK) || !IsInvalidInput(err) {
+		t.Fatalf("err = %v, want ErrBadK classified by IsInvalidInput", err)
+	}
+	if IsInvalidInput(&CancelError{Err: ErrDeadlineExceeded}) {
+		t.Fatal("IsInvalidInput misclassifies a cancellation error")
+	}
+}
+
+// TestSearchManyCtxMidCancel: cancelling while the batch runs stops the
+// pool within one query, keeps the completed queries' results, and leaves
+// the unstarted ones nil. The test hook makes the cancellation point
+// deterministic (single worker, cancel before query 8 starts).
+func TestSearchManyCtxMidCancel(t *testing.T) {
+	db := tinyDB(t)
+	queries := make([][]float32, 32)
+	for i := range queries {
+		queries[i], _ = db.Vector(uint32(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const cancelAt = 8
+	searchManyTestHook = func(i int) {
+		if i == cancelAt {
+			cancel()
+		}
+	}
+	defer func() { searchManyTestHook = nil }()
+
+	out, err := db.SearchManyCtx(ctx, queries, 3, 10, 1)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelError", err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !ce.Partial {
+		t.Fatal("completed queries present but Partial=false")
+	}
+	if len(out) != len(queries) {
+		t.Fatalf("out has %d slots, want %d", len(out), len(queries))
+	}
+	for i := 0; i < cancelAt; i++ {
+		if out[i] == nil {
+			t.Fatalf("completed query %d lost its results", i)
+		}
+	}
+	for i := cancelAt; i < len(out); i++ {
+		if out[i] != nil {
+			t.Fatalf("query %d ran after cancellation", i)
+		}
+	}
+}

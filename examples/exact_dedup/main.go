@@ -35,7 +35,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	probe := db.Vector(7)
+	probe, ok := db.Vector(7)
+	if !ok {
+		log.Fatal("vector 7 missing")
+	}
 	const k = 20
 	nn, lines, err := db.ExactSearch(probe, k)
 	if err != nil {

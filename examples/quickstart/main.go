@@ -40,7 +40,7 @@ func main() {
 
 	fmt.Printf("5 nearest neighbors of (%.1f, %.1f):\n", query[0], query[1])
 	for _, n := range res {
-		v := db.Vector(n.ID)
+		v, _ := db.Vector(n.ID)
 		fmt.Printf("  id=%3d  point=(%6.2f, %6.2f)  distance=%.3f\n", n.ID, v[0], v[1], n.Dist)
 	}
 

@@ -4,7 +4,9 @@
 package ansmet_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"ansmet"
 )
@@ -38,6 +40,41 @@ func TestSearchSteadyStateAllocs(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("SearchInto allocates %.1f objects/query at steady state, want 0", avg)
+	}
+}
+
+// TestSearchCtxSteadyStateAllocs extends the zero-allocation gate to the
+// deadline-aware path: with a live (non-expiring) context, SearchCtxInto
+// must cost exactly what SearchInto costs — the cancellation checkpoints
+// are a counter increment plus a non-blocking channel poll, nothing heap-
+// allocated.
+func TestSearchCtxSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	db := benchDB()
+	ds := benchData()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	var (
+		dst []ansmet.Neighbor
+		err error
+	)
+	for i := 0; i < 4; i++ {
+		if dst, err = db.SearchCtxInto(ctx, ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		dst, err = db.SearchCtxInto(ctx, ds.Queries[i%len(ds.Queries)], 10, 64, dst)
+		i++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("SearchCtxInto allocates %.1f objects/query at steady state, want 0", avg)
 	}
 }
 
@@ -92,5 +129,9 @@ func exactDist(db *ansmet.Database, q []float32, id uint32) float64 {
 	for d, x := range q {
 		qq[d] = ansmet.Uint8.Quantize(x)
 	}
-	return ansmet.L2.Distance(qq, db.Vector(id))
+	v, ok := db.Vector(id)
+	if !ok {
+		panic("exactDist: id out of range")
+	}
+	return ansmet.L2.Distance(qq, v)
 }

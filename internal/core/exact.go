@@ -14,6 +14,29 @@ import (
 // algorithms like kmeans and kNN" (§4.1). The returned line count shows the
 // access savings relative to fullLines = Len()×SlotLines().
 func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetched int) {
+	nn, linesFetched, _ = e.ExactKNNCtx(nil, q, k)
+	return nn, linesFetched
+}
+
+// knnCancelStride is the cooperative-cancellation checkpoint stride of the
+// exact scan: the done channel is polled once every knnCancelStride
+// comparisons, bounding the post-cancel overrun while keeping the
+// steady-state cost to a counter test.
+const knnCancelStride = 256
+
+// exactScanTestHook, when non-nil, runs at every phase-2 cancellation
+// checkpoint of a done-instrumented scan; tests use it to fire done at a
+// precise id (deterministic mid-scan cancellation). Only consulted when
+// done != nil, so the plain ExactKNN path never pays for it.
+var exactScanTestHook func(id uint32)
+
+// ExactKNNCtx is ExactKNN with a cooperative-cancellation channel. A nil
+// done channel disables every check (identical to ExactKNN). When done
+// fires, the scan stops at the next checkpoint and returns the best
+// neighbors over the prefix scanned so far with cancelled=true — a usable
+// approximate answer, but NOT the exact one; callers must not treat a
+// cancelled result as the brute-force ground truth.
+func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []hnsw.Neighbor, linesFetched int, cancelled bool) {
 	e.StartQuery(q)
 	heap := &e.knnHeap
 	heap.Reset()
@@ -22,7 +45,14 @@ func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetche
 	// Phase 1: pre-fill the heap with the first k candidates' exact
 	// distances (threshold ∞ — every Compare is a full fetch and always
 	// accepted, exactly as the generic loop would do while the heap is
-	// short).
+	// short). At most k comparisons: one upfront check suffices.
+	if done != nil {
+		select {
+		case <-done:
+			return nil, 0, true
+		default:
+		}
+	}
 	id := uint32(0)
 	for ; id < n && heap.Len() < k; id++ {
 		r := e.Compare(id, math.Inf(1))
@@ -33,6 +63,19 @@ func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetche
 	// Phase 2: the heap is full, so the k-th-best distance is always at the
 	// top — read the threshold straight from it, no branch per candidate.
 	for ; id < n; id++ {
+		if done != nil && id%knnCancelStride == 0 {
+			if exactScanTestHook != nil {
+				exactScanTestHook(id)
+			}
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
 		r := e.Compare(id, heap.Top().Dist)
 		linesFetched += r.TotalLines()
 		if r.Accepted {
@@ -45,7 +88,7 @@ func (e *ETEngine) ExactKNN(q []float32, k int) (nn []hnsw.Neighbor, linesFetche
 	for i := len(nn) - 1; i >= 0; i-- {
 		nn[i] = heap.Pop()
 	}
-	return nn, linesFetched
+	return nn, linesFetched, cancelled
 }
 
 // maxHeap is a max-heap of neighbors by distance (worst at the top), with

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"ansmet/internal/dataset"
+	"ansmet/internal/hnsw"
 	"ansmet/internal/layout"
 	"ansmet/internal/prefixelim"
 )
@@ -78,4 +80,87 @@ func TestExactKNNSmallK(t *testing.T) {
 	if len(nn) != 50 {
 		t.Fatalf("k>N returned %d results", len(nn))
 	}
+}
+
+// TestExactKNNCtxCancel: a done channel fired mid-scan stops the exact
+// scan within one checkpoint stride and returns best-so-far results;
+// a pre-closed channel aborts before any comparison; a nil channel is
+// byte-identical to ExactKNN.
+func TestExactKNNCtxCancel(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 1500, 2, 41)
+	st, err := BuildStore(ds.Vectors, p.Elem,
+		layout.SimpleHeuristicSchedule(p.Elem), prefixelim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := st.NewETEngine(p.Metric)
+	q := ds.Queries[0]
+
+	// Nil done: identical to ExactKNN.
+	want, wantLines := eng.ExactKNN(q, 10)
+	got, gotLines, cancelled := eng.ExactKNNCtx(nil, q, 10)
+	if cancelled || gotLines != wantLines || len(got) != len(want) {
+		t.Fatalf("nil done diverged: cancelled=%v lines=%d/%d n=%d/%d",
+			cancelled, gotLines, wantLines, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Pre-closed done: aborted, nothing scanned.
+	closed := make(chan struct{})
+	close(closed)
+	nn, lines, cancelled := eng.ExactKNNCtx(closed, q, 10)
+	if !cancelled || nn != nil || lines != 0 {
+		t.Fatalf("pre-closed done: cancelled=%v nn=%v lines=%d", cancelled, nn, lines)
+	}
+
+	// Fired mid-scan: the test hook closes done at the id=512 checkpoint,
+	// so the scan stops there deterministically and the partial result is
+	// exactly the k best of the ids [0, 512) prefix.
+	const cancelAt = 512
+	mid := make(chan struct{})
+	exactScanTestHook = func(id uint32) {
+		if id == cancelAt {
+			close(mid)
+		}
+	}
+	defer func() { exactScanTestHook = nil }()
+	nn2, _, cancelled2 := eng.ExactKNNCtx(mid, q, 10)
+	if !cancelled2 {
+		t.Fatal("mid-scan cancellation never observed")
+	}
+	if len(nn2) != 10 {
+		t.Fatalf("partial exact scan returned %d results, want k=10 best-so-far", len(nn2))
+	}
+	// Every partial result comes from the scanned prefix, and the set
+	// matches a brute-force scan restricted to that prefix.
+	wantPrefix := prefixBruteForce(ds, q, cancelAt, 10)
+	for i, nb := range nn2 {
+		if nb.ID >= cancelAt {
+			t.Fatalf("partial result %d has id %d beyond the scanned prefix %d", i, nb.ID, cancelAt)
+		}
+		if nb.ID != wantPrefix[i].ID {
+			t.Fatalf("partial result %d: id %d, want %d (prefix brute force)", i, nb.ID, wantPrefix[i].ID)
+		}
+	}
+}
+
+// prefixBruteForce returns the k nearest of the first n dataset vectors,
+// computed directly from the raw vectors.
+func prefixBruteForce(ds *dataset.Dataset, q []float32, n, k int) []hnsw.Neighbor {
+	all := make([]hnsw.Neighbor, n)
+	for i := 0; i < n; i++ {
+		all[i] = hnsw.Neighbor{ID: uint32(i), Dist: ds.Profile.Metric.Distance(q, ds.Vectors[i])}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].ID < all[b].ID
+	})
+	return all[:k]
 }

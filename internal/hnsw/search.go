@@ -60,6 +60,27 @@ var alwaysAccept = func(uint32) bool { return true }
 // a steady-state search with a reused dst and nil rec performs zero heap
 // allocations (enforced by TestSearchSteadyStateAllocs).
 func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query, dst []Neighbor) []Neighbor {
+	out, _ := ix.SearchCancelInto(nil, q, k, ef, batch, filter, eng, rec, dst)
+	return out
+}
+
+// cancelCheckHops is the cooperative-cancellation checkpoint stride: the
+// done channel is polled once every cancelCheckHops hops (a hop issues one
+// comparison batch, ~MaxDegree distance computations at batch=1), so a
+// cancelled search stops within one checkpoint interval while the
+// steady-state cost of the plumbing is a counter increment plus, every
+// fourth hop, one non-blocking channel poll — no allocation, no syscall.
+const cancelCheckHops = 4
+
+// SearchCancelInto is SearchFilteredInto with a cooperative-cancellation
+// channel threaded through the traversal. A nil done channel disables every
+// check and is exactly SearchFilteredInto (the allocation-free hot path is
+// unchanged). When done fires, the search stops at the next checkpoint and
+// returns (partial, true): whatever the result set held so far, sorted — an
+// empty slice when cancellation landed before the base layer produced
+// anything. The caller decides how to surface partial results; this layer
+// only reports them.
+func (ix *Index) SearchCancelInto(done <-chan struct{}, q []float32, k, ef, batch int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query, dst []Neighbor) ([]Neighbor, bool) {
 	if ef < k {
 		ef = k
 	}
@@ -68,6 +89,13 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 	}
 	if filter == nil {
 		filter = alwaysAccept
+	}
+	if done != nil {
+		select {
+		case <-done:
+			return dst[:0], true
+		default:
+		}
 	}
 	eng.StartQuery(q)
 
@@ -80,10 +108,21 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 	}
 	cur := ix.entry
 	curDist := entryRes.Dist
+	hops := 0
 
-	// Greedy descent through the upper layers.
+	// Greedy descent through the upper layers. Cancellation here aborts
+	// with no results: the descent has not touched the base layer yet, so
+	// there is nothing usable to return.
 	for l := ix.maxLevel; l >= 1; l-- {
 		for {
+			hops++
+			if done != nil && hops%cancelCheckHops == 0 {
+				select {
+				case <-done:
+					return dst[:0], true
+				default:
+				}
+			}
 			nbs := ix.neighborsAt(cur, l)
 			if len(nbs) == 0 {
 				break
@@ -128,8 +167,20 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 		results.Push(start)
 	}
 	ids := ctx.ids
+	cancelled := false
 
 	for cand.Len() > 0 {
+		hops++
+		if done != nil && hops%cancelCheckHops == 0 {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
 		// Pop up to `batch` candidates. If the very first pop is already
 		// beyond the result set's worst distance the search has converged;
 		// later pops beyond it are merely discarded (they would never be
@@ -202,7 +253,7 @@ func (ix *Index) SearchFilteredInto(q []float32, k, ef, batch int, filter func(u
 			rec.ResultIDs[i] = n.ID
 		}
 	}
-	return out
+	return out, cancelled
 }
 
 // Stats summarizes the built graph.
@@ -252,11 +303,22 @@ func (ix *Index) MaxLevel() int { return ix.maxLevel }
 // Entry returns the fixed entry point.
 func (ix *Index) Entry() uint32 { return ix.entry }
 
-// Level returns the level of node id.
-func (ix *Index) Level(id uint32) int { return ix.levels[id] }
+// Level returns the level of node id, or -1 when id is out of range (ids
+// can come from untrusted request payloads; exported accessors must not
+// panic on a bad one).
+func (ix *Index) Level(id uint32) int {
+	if int(id) >= len(ix.levels) {
+		return -1
+	}
+	return ix.levels[id]
+}
 
-// Neighbors exposes the adjacency list of id at the given level (read-only).
+// Neighbors exposes the adjacency list of id at the given level
+// (read-only). Out-of-range ids or levels return nil.
 func (ix *Index) Neighbors(id uint32, level int) []uint32 {
+	if int(id) >= len(ix.neighbors) || level < 0 {
+		return nil
+	}
 	return ix.neighborsAt(id, level)
 }
 

@@ -1,0 +1,202 @@
+// Package serve implements the request-layer robustness machinery of the
+// ANSMET serving stack: a token-bucket + bounded-queue admission controller
+// that sheds load BEFORE work is done, per-request deadline middleware,
+// panic containment, and graceful drain. The package is transport-light —
+// the admission controller and handlers are plain Go values unit-testable
+// without opening a socket — and cmd/ansmet-serve wires it to a real
+// net/http server.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-rejection sentinels, matched with errors.Is. Both arrive
+// wrapped in *OverloadError, which carries the Retry-After hint.
+var (
+	// ErrRateLimited reports the token bucket is empty: the caller is
+	// sending faster than the configured sustained rate.
+	ErrRateLimited = errors.New("serve: rate limit exceeded")
+	// ErrQueueFull reports the bounded admission queue is full: the server
+	// is saturated and taking this request would only grow latency for
+	// everyone. Shedding here costs almost nothing — no JSON has been
+	// parsed, no search started.
+	ErrQueueFull = errors.New("serve: admission queue full")
+)
+
+// OverloadError is the typed rejection returned by Admission.Acquire,
+// carrying the Retry-After hint the HTTP layer surfaces as a 429 header.
+type OverloadError struct {
+	// Reason is ErrRateLimited or ErrQueueFull.
+	Reason error
+	// RetryAfter is the suggested client back-off.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return e.Reason }
+
+// AdmissionConfig bounds the work the server accepts.
+type AdmissionConfig struct {
+	// RatePerSec is the sustained admission rate of the token bucket;
+	// 0 or negative disables rate limiting.
+	RatePerSec float64
+	// Burst is the bucket capacity (how far above the sustained rate a
+	// short burst may go); 0 defaults to max(1, RatePerSec).
+	Burst int
+	// MaxConcurrent is the number of requests allowed to run at once;
+	// 0 defaults to 8.
+	MaxConcurrent int
+	// MaxQueue is the number of requests allowed to wait for a slot
+	// beyond MaxConcurrent; once the queue is full further requests are
+	// rejected immediately (load shedding). 0 defaults to 2×MaxConcurrent.
+	MaxQueue int
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(math.Max(1, c.RatePerSec))
+	}
+	return c
+}
+
+// AdmissionStats is a point-in-time snapshot of the controller.
+type AdmissionStats struct {
+	Admitted     uint64 // requests granted a slot
+	ShedRate     uint64 // rejected by the token bucket
+	ShedQueue    uint64 // rejected because the queue was full
+	CanceledWait uint64 // gave up (context fired) while queued
+	Running      int    // slots currently held
+	Queued       int    // currently waiting for a slot
+}
+
+// Admission is the combined token-bucket + bounded-queue + concurrency
+// admission controller. Safe for concurrent use.
+type Admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	queued int
+
+	// now is the injectable clock (tests drive it manually).
+	now func() time.Time
+
+	admitted     atomic.Uint64
+	shedRate     atomic.Uint64
+	shedQueue    atomic.Uint64
+	canceledWait atomic.Uint64
+}
+
+// NewAdmission builds a controller from the config (zero fields take
+// defaults).
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	a := &Admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		now:   time.Now,
+	}
+	a.tokens = float64(cfg.Burst)
+	a.last = a.now()
+	return a
+}
+
+// Acquire admits the request or rejects it. On success it returns a
+// release func the caller MUST invoke when the request finishes. On
+// overload it returns a *OverloadError immediately — the request has cost
+// nothing but this call. If ctx fires while the request is queued, the
+// context's error is returned (the client gave up or the deadline passed
+// before a slot opened).
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a.cfg.RatePerSec > 0 {
+		a.mu.Lock()
+		now := a.now()
+		a.tokens = math.Min(a.tokens+now.Sub(a.last).Seconds()*a.cfg.RatePerSec, float64(a.cfg.Burst))
+		a.last = now
+		if a.tokens < 1 {
+			wait := time.Duration((1 - a.tokens) / a.cfg.RatePerSec * float64(time.Second))
+			a.mu.Unlock()
+			a.shedRate.Add(1)
+			return nil, &OverloadError{Reason: ErrRateLimited, RetryAfter: wait}
+		}
+		a.tokens--
+		a.mu.Unlock()
+	}
+
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	default:
+	}
+
+	// Slow path: join the bounded queue or shed.
+	a.mu.Lock()
+	if a.queued >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		a.shedQueue.Add(1)
+		return nil, &OverloadError{Reason: ErrQueueFull, RetryAfter: a.retryAfter()}
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		a.canceledWait.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) release() { <-a.slots }
+
+// retryAfter estimates how long a shed client should back off: one token
+// interval when rate-limited, otherwise a heuristic second.
+func (a *Admission) retryAfter() time.Duration {
+	if a.cfg.RatePerSec > 0 {
+		return time.Duration(float64(time.Second) / a.cfg.RatePerSec)
+	}
+	return time.Second
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	queued := a.queued
+	a.mu.Unlock()
+	return AdmissionStats{
+		Admitted:     a.admitted.Load(),
+		ShedRate:     a.shedRate.Load(),
+		ShedQueue:    a.shedQueue.Load(),
+		CanceledWait: a.canceledWait.Load(),
+		Running:      len(a.slots),
+		Queued:       queued,
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the token bucket deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestAdmission(cfg AdmissionConfig) (*Admission, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(cfg)
+	a.now = clk.now
+	a.last = clk.now()
+	return a, clk
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a, clk := newTestAdmission(AdmissionConfig{RatePerSec: 10, Burst: 2, MaxConcurrent: 8})
+	ctx := context.Background()
+
+	// Burst capacity: two immediate admissions.
+	for i := 0; i < 2; i++ {
+		release, err := a.Acquire(ctx)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		release()
+	}
+	// Bucket empty: typed rejection with a positive Retry-After.
+	_, err := a.Acquire(ctx)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("want *OverloadError with positive RetryAfter, got %#v", err)
+	}
+
+	// One token interval later: admitted again.
+	clk.advance(100 * time.Millisecond)
+	release, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	release()
+
+	st := a.Stats()
+	if st.Admitted != 3 || st.ShedRate != 1 {
+		t.Fatalf("stats = %+v, want 3 admitted / 1 shed", st)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	// Occupy the only slot.
+	release1, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second request queues (blocking): run it in a goroutine.
+	got2 := make(chan error, 1)
+	var release2 func()
+	go func() {
+		var err error
+		release2, err = a.Acquire(ctx)
+		got2 <- err
+	}()
+	waitFor(t, func() bool { return a.Stats().Queued == 1 })
+
+	// Third request: queue full, shed immediately.
+	_, err = a.Acquire(ctx)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+
+	// Releasing the slot admits the queued request.
+	release1()
+	if err := <-got2; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	release2()
+
+	st := a.Stats()
+	if st.Admitted != 2 || st.ShedQueue != 1 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4})
+	release1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release1()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, func() bool { return a.Stats().Queued == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := a.Stats()
+	if st.Queued != 0 || st.CanceledWait != 1 {
+		t.Fatalf("stats = %+v, want queue drained and 1 canceled wait", st)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ansmet/internal/hnsw"
+)
+
+// SearchFunc executes one query under the given context: cancellation and
+// deadline must propagate cooperatively into the traversal (the ansmet
+// SearchEfCtx family does). On context expiry it may return partial
+// results alongside an error matching context.DeadlineExceeded /
+// context.Canceled via errors.Is.
+type SearchFunc func(ctx context.Context, q []float32, k, ef int) ([]hnsw.Neighbor, error)
+
+// Config wires a Server.
+type Config struct {
+	// Search executes queries; required.
+	Search SearchFunc
+	// BadRequest classifies searcher errors that should map to HTTP 400
+	// (input validation) rather than 500. Nil treats every non-context
+	// searcher error as internal.
+	BadRequest func(error) bool
+
+	// Admission bounds accepted work on /v1/search.
+	Admission AdmissionConfig
+
+	// DefaultTimeout is the per-request search deadline when the request
+	// doesn't name one (default 2s); MaxTimeout caps client-requested
+	// deadlines (default 10s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxBodyBytes bounds the request body (default 1 MiB): oversized
+	// bodies are rejected with 413 before being buffered.
+	MaxBodyBytes int64
+
+	// DefaultK, MaxK, MaxEf bound query shape (defaults 10, 1024, 8192).
+	DefaultK, MaxK, MaxEf int
+
+	// AuxConcurrency caps in-flight requests per auxiliary endpoint
+	// (health/ready/vars; default 64). Search concurrency is governed by
+	// Admission.
+	AuxConcurrency int
+
+	// AllowPanicProbe enables the {"panic":true} chaos probe on
+	// /v1/search, which panics inside the handler to exercise the
+	// panic-to-500 containment. Never enable in production.
+	AllowPanicProbe bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1024
+	}
+	if c.MaxEf <= 0 {
+		c.MaxEf = 8192
+	}
+	if c.AuxConcurrency <= 0 {
+		c.AuxConcurrency = 64
+	}
+	return c
+}
+
+// Metrics are the server's cumulative counters, exposed on /debug/vars.
+type Metrics struct {
+	Requests      atomic.Int64 // /v1/search requests received
+	OK            atomic.Int64 // 200s served
+	BadRequests   atomic.Int64 // 400/413s
+	Shed          atomic.Int64 // 429s (rate or queue)
+	Timeouts      atomic.Int64 // 504s (search deadline)
+	ClientCancels atomic.Int64 // client went away mid-request
+	Draining      atomic.Int64 // 503s during drain
+	Panics        atomic.Int64 // handler panics contained to 500
+	Internal      atomic.Int64 // other 500s
+	InFlight      atomic.Int64 // searches running right now
+}
+
+// SearchRequest is the /v1/search JSON body.
+type SearchRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k,omitempty"`
+	Ef    int       `json:"ef,omitempty"`
+	// TimeoutMs overrides the server's default per-request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Panic triggers the chaos panic probe (only honored when
+	// Config.AllowPanicProbe is set).
+	Panic bool `json:"panic,omitempty"`
+}
+
+// SearchResult is one neighbor in the response.
+type SearchResult struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// SearchResponse is the /v1/search JSON response. Partial marks results
+// cut short by the deadline (HTTP 504 with a usable prefix).
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+	Partial bool           `json:"partial,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// Server is the transport-agnostic ANSMET serving core: an http.Handler
+// plus the drain/cancel lifecycle. Mount Handler() on any net/http server
+// (or call it directly in tests via httptest).
+type Server struct {
+	cfg Config
+	adm *Admission
+	mux *http.ServeMux
+
+	metrics  Metrics
+	draining atomic.Bool
+
+	// baseCtx is cancelled by HardCancel: every in-flight search's context
+	// is tied to it, so a drain that overruns its deadline can abort the
+	// stragglers through the cooperative-cancellation plumbing.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	start time.Time
+}
+
+// New builds a Server. Config.Search is required.
+func New(cfg Config) (*Server, error) {
+	if cfg.Search == nil {
+		return nil, errors.New("serve: Config.Search is required")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		adm:        NewAdmission(cfg.Admission),
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		start:      time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/health", limitConcurrency(cfg.AuxConcurrency, s.handleHealth))
+	s.mux.HandleFunc("GET /v1/ready", limitConcurrency(cfg.AuxConcurrency, s.handleReady))
+	s.mux.HandleFunc("GET /debug/vars", limitConcurrency(cfg.AuxConcurrency, s.handleVars))
+	return s, nil
+}
+
+// Handler returns the root handler with panic containment applied.
+func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+
+// Metrics exposes the live counters (reads are atomic).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Admission exposes the admission controller (for stats).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Drain flips the server into draining mode: /v1/ready turns 503 (so load
+// balancers stop routing here) and new /v1/search requests are refused
+// with 503 while in-flight ones run to completion. Call before
+// http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// HardCancel aborts every in-flight search through the cooperative
+// cancellation plumbing. Call when the drain deadline has passed and
+// stragglers must stop now.
+func (s *Server) HardCancel() { s.baseCancel() }
+
+// --- middleware ---------------------------------------------------------
+
+// statusRecorder tracks whether a handler already wrote headers, so the
+// panic recovery knows if a 500 can still be sent.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// recoverWrap contains handler panics: the connection gets a 500 (when
+// headers haven't been sent yet) and the process survives — the same
+// containment contract the engine layer's Resilient wrapper gives the
+// device path.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Panics.Add(1)
+				if !sr.wrote {
+					writeJSON(sr, http.StatusInternalServerError,
+						SearchResponse{Error: "internal error"})
+				}
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}
+
+// limitConcurrency is the per-endpoint concurrency cap for the auxiliary
+// endpoints: excess concurrent calls get an immediate 429 instead of
+// piling onto the server.
+func limitConcurrency(n int, h http.HandlerFunc) http.HandlerFunc {
+	sem := make(chan struct{}, n)
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "too many concurrent requests", http.StatusTooManyRequests)
+		}
+	}
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	if s.draining.Load() {
+		s.metrics.Draining.Add(1)
+		w.Header().Set("Connection", "close")
+		writeJSON(w, http.StatusServiceUnavailable, SearchResponse{Error: "server draining"})
+		return
+	}
+
+	// Admission first: shedding must happen before any work (parsing a
+	// body is work).
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			s.metrics.Shed.Add(1)
+			secs := int(oe.RetryAfter/time.Second) + 1
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(w, http.StatusTooManyRequests, SearchResponse{Error: oe.Reason.Error()})
+			return
+		}
+		// Context fired while queued: the client gave up.
+		s.metrics.ClientCancels.Add(1)
+		return
+	}
+	defer release()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				SearchResponse{Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, SearchResponse{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if req.Panic && s.cfg.AllowPanicProbe {
+		panic("injected panic probe")
+	}
+	k := req.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	ef := req.Ef
+	if ef == 0 {
+		ef = 2 * k
+		if ef < 32 {
+			ef = 32
+		}
+	}
+	if len(req.Query) == 0 || k < 1 || k > s.cfg.MaxK || ef < k || ef > s.cfg.MaxEf {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{
+			Error: fmt.Sprintf("invalid query shape (len=%d k=%d ef=%d; limits k<=%d ef<=%d)",
+				len(req.Query), k, ef, s.cfg.MaxK, s.cfg.MaxEf)})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	// Tie the search to the server lifecycle: HardCancel aborts it too.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	s.metrics.InFlight.Add(1)
+	res, err := s.cfg.Search(ctx, req.Query, k, ef)
+	s.metrics.InFlight.Add(-1)
+
+	switch {
+	case err == nil:
+		s.metrics.OK.Add(1)
+		writeJSON(w, http.StatusOK, SearchResponse{Results: toResults(res)})
+	case errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			// The client's own deadline/disconnect raced ours.
+			s.metrics.ClientCancels.Add(1)
+			return
+		}
+		s.metrics.Timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, SearchResponse{
+			Results: toResults(res), Partial: len(res) > 0,
+			Error: "search deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		if s.baseCtx.Err() != nil {
+			s.metrics.Draining.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, SearchResponse{Error: "server shutting down"})
+			return
+		}
+		// Client cancelled: nothing useful to write to a closed pipe.
+		s.metrics.ClientCancels.Add(1)
+	case s.cfg.BadRequest != nil && s.cfg.BadRequest(err):
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{Error: err.Error()})
+	default:
+		s.metrics.Internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, SearchResponse{Error: "internal error"})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.start).String(),
+	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	m := &s.metrics
+	adm := s.adm.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serve": map[string]int64{
+			"requests":       m.Requests.Load(),
+			"ok":             m.OK.Load(),
+			"bad_requests":   m.BadRequests.Load(),
+			"shed":           m.Shed.Load(),
+			"timeouts":       m.Timeouts.Load(),
+			"client_cancels": m.ClientCancels.Load(),
+			"draining":       m.Draining.Load(),
+			"panics":         m.Panics.Load(),
+			"internal":       m.Internal.Load(),
+			"in_flight":      m.InFlight.Load(),
+		},
+		"admission": map[string]any{
+			"admitted":      adm.Admitted,
+			"shed_rate":     adm.ShedRate,
+			"shed_queue":    adm.ShedQueue,
+			"canceled_wait": adm.CanceledWait,
+			"running":       adm.Running,
+			"queued":        adm.Queued,
+		},
+		"goroutines": runtime.NumGoroutine(),
+		"draining":   s.draining.Load(),
+	})
+}
+
+func toResults(nn []hnsw.Neighbor) []SearchResult {
+	out := make([]SearchResult, len(nn))
+	for i, n := range nn {
+		out[i] = SearchResult{ID: n.ID, Dist: n.Dist}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,291 @@
+// Handler tests run entirely through httptest recorders — no sockets, no
+// database: the SearchFunc is stubbed per test.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ansmet/internal/hnsw"
+)
+
+// okSearch returns k fake neighbors immediately.
+func okSearch(ctx context.Context, q []float32, k, ef int) ([]hnsw.Neighbor, error) {
+	out := make([]hnsw.Neighbor, k)
+	for i := range out {
+		out[i] = hnsw.Neighbor{ID: uint32(i), Dist: float64(i)}
+	}
+	return out, nil
+}
+
+// blockingSearch blocks until the context fires, then reports partial
+// results with the context's error.
+func blockingSearch(ctx context.Context, q []float32, k, ef int) ([]hnsw.Neighbor, error) {
+	<-ctx.Done()
+	return []hnsw.Neighbor{{ID: 7, Dist: 0.5}}, ctx.Err()
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Search == nil {
+		cfg.Search = okSearch
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postSearch(s *Server, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func decodeResp(t *testing.T, w *httptest.ResponseRecorder) SearchResponse {
+	t.Helper()
+	var resp SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response JSON %q: %v", w.Body.String(), err)
+	}
+	return resp
+}
+
+func TestSearchOK(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postSearch(s, `{"query":[1,2,3],"k":4}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeResp(t, w)
+	if len(resp.Results) != 4 || resp.Partial {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if s.Metrics().OK.Load() != 1 {
+		t.Fatal("OK counter not incremented")
+	}
+}
+
+func TestSearchMalformedJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, body := range []string{"", "{", `{"query":"nope"}`, "\x00\x01garbage"} {
+		w := postSearch(s, body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestSearchOversizedBody(t *testing.T) {
+	s := newTestServer(t, Config{MaxBodyBytes: 128})
+	big := `{"query":[` + strings.Repeat("1,", 4000) + `1]}`
+	w := postSearch(s, big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", w.Code)
+	}
+}
+
+func TestSearchShapeLimits(t *testing.T) {
+	s := newTestServer(t, Config{MaxK: 16, MaxEf: 64})
+	cases := []string{
+		`{"query":[]}`,
+		`{"query":[1],"k":-3}`,
+		`{"query":[1],"k":100}`,
+		`{"query":[1],"k":4,"ef":2}`,
+		`{"query":[1],"k":4,"ef":1000}`,
+	}
+	for _, body := range cases {
+		if w := postSearch(s, body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %s: status = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestSearchBadRequestClassifier(t *testing.T) {
+	errDim := errors.New("dimension mismatch")
+	s := newTestServer(t, Config{
+		Search: func(context.Context, []float32, int, int) ([]hnsw.Neighbor, error) {
+			return nil, fmt.Errorf("wrapped: %w", errDim)
+		},
+		BadRequest: func(err error) bool { return errors.Is(err, errDim) },
+	})
+	w := postSearch(s, `{"query":[1,2]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 via classifier", w.Code)
+	}
+	// Without the classifier the same failure is an internal error.
+	s2 := newTestServer(t, Config{
+		Search: func(context.Context, []float32, int, int) ([]hnsw.Neighbor, error) {
+			return nil, errDim
+		},
+	})
+	if w := postSearch(s2, `{"query":[1,2]}`); w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 without classifier", w.Code)
+	}
+}
+
+func TestSearchDeadlinePartial(t *testing.T) {
+	s := newTestServer(t, Config{Search: blockingSearch, DefaultTimeout: 20 * time.Millisecond})
+	w := postSearch(s, `{"query":[1,2,3]}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", w.Code)
+	}
+	resp := decodeResp(t, w)
+	if !resp.Partial || len(resp.Results) != 1 || resp.Results[0].ID != 7 {
+		t.Fatalf("resp = %+v, want partial result id=7", resp)
+	}
+	if s.Metrics().Timeouts.Load() != 1 {
+		t.Fatal("Timeouts counter not incremented")
+	}
+}
+
+func TestSearchClientTimeoutOverride(t *testing.T) {
+	s := newTestServer(t, Config{
+		Search:         blockingSearch,
+		DefaultTimeout: time.Hour, // must be overridden by the request
+		MaxTimeout:     time.Hour,
+	})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postSearch(s, `{"query":[1],"timeout_ms":20}`) }()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504", w.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request-level timeout never fired")
+	}
+}
+
+func TestSearchOverloadSheds(t *testing.T) {
+	started := make(chan struct{}, 8)
+	unblock := make(chan struct{})
+	s := newTestServer(t, Config{
+		Search: func(ctx context.Context, q []float32, k, ef int) ([]hnsw.Neighbor, error) {
+			started <- struct{}{}
+			<-unblock
+			return nil, nil
+		},
+		Admission: AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1},
+	})
+	// Request 1 occupies the slot; request 2 queues; request 3 must shed.
+	go postSearch(s, `{"query":[1]}`)
+	<-started
+	go postSearch(s, `{"query":[1]}`)
+	waitFor(t, func() bool { return s.Admission().Stats().Queued == 1 })
+
+	w := postSearch(s, `{"query":[1]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	if s.Metrics().Shed.Load() != 1 {
+		t.Fatal("Shed counter not incremented")
+	}
+	close(unblock)
+	waitFor(t, func() bool { return s.Admission().Stats().Running == 0 })
+}
+
+func TestPanicContained(t *testing.T) {
+	s := newTestServer(t, Config{AllowPanicProbe: true})
+	w := postSearch(s, `{"query":[1],"panic":true}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", w.Code)
+	}
+	if s.Metrics().Panics.Load() != 1 {
+		t.Fatal("Panics counter not incremented")
+	}
+	// The server still works afterwards.
+	if w := postSearch(s, `{"query":[1]}`); w.Code != http.StatusOK {
+		t.Fatalf("post-panic status = %d, want 200", w.Code)
+	}
+	// Probe disabled: the field is ignored.
+	s2 := newTestServer(t, Config{})
+	if w := postSearch(s2, `{"query":[1],"panic":true}`); w.Code != http.StatusOK {
+		t.Fatalf("probe honored despite AllowPanicProbe=false: %d", w.Code)
+	}
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	get := func(path string) int {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code
+	}
+	if c := get("/v1/ready"); c != http.StatusOK {
+		t.Fatalf("ready = %d before drain", c)
+	}
+	if c := get("/v1/health"); c != http.StatusOK {
+		t.Fatalf("health = %d", c)
+	}
+
+	s.Drain()
+	if c := get("/v1/ready"); c != http.StatusServiceUnavailable {
+		t.Fatalf("ready = %d during drain, want 503", c)
+	}
+	if c := get("/v1/health"); c != http.StatusOK {
+		t.Fatalf("health = %d during drain, want 200 (process alive)", c)
+	}
+	if w := postSearch(s, `{"query":[1]}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("search during drain = %d, want 503", w.Code)
+	}
+}
+
+func TestHardCancelAbortsInFlight(t *testing.T) {
+	s := newTestServer(t, Config{Search: blockingSearch, DefaultTimeout: time.Hour, MaxTimeout: time.Hour})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postSearch(s, `{"query":[1]}`) }()
+	waitFor(t, func() bool { return s.Metrics().InFlight.Load() == 1 })
+
+	s.HardCancel()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503 after hard cancel", w.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hard cancel did not abort the in-flight search")
+	}
+}
+
+func TestVarsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	postSearch(s, `{"query":[1]}`)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/vars", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("vars = %d", w.Code)
+	}
+	var v struct {
+		Serve      map[string]int64 `json:"serve"`
+		Goroutines int              `json:"goroutines"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("vars JSON: %v", err)
+	}
+	if v.Serve["requests"] != 1 || v.Serve["ok"] != 1 || v.Goroutines <= 0 {
+		t.Fatalf("vars = %s", w.Body)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/v1/search", bytes.NewReader(nil)))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search = %d, want 405", w.Code)
+	}
+}

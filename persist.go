@@ -2,24 +2,58 @@ package ansmet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"ansmet/internal/core"
 	"ansmet/internal/hnsw"
 	"ansmet/internal/vecmath"
 )
 
-// snapshotMagic versions the serialization format. v2 added the raw header
-// below; v1 files (pre-hardening) are rejected.
-const snapshotMagic = "ansmet-db-v2"
+// snapshotMagic versions the serialization format. v3 added the CRC32C
+// integrity footer; v1/v2 files (pre-hardening, no checksum) are rejected.
+const snapshotMagic = "ansmet-db-v3"
 
 // snapshotHeader is a raw byte prefix written before the gob stream, so
 // Load can reject non-ansmet files before handing attacker-controlled
 // bytes to the gob decoder.
-var snapshotHeader = []byte("ANSMETDB2\n")
+var snapshotHeader = []byte("ANSMETDB3\n")
+
+// snapshotFooterMagic opens the fixed-size trailer appended after the gob
+// stream: footer magic (10 bytes) + uint64 LE payload length + uint32 LE
+// CRC32C (Castagnoli) over the payload (header + gob stream). A torn write
+// truncates the footer or leaves a length/CRC that no longer matches, so
+// Load detects it before decoding a single gob byte.
+var snapshotFooterMagic = []byte("ANSMETCRC\n")
+
+const snapshotFooterLen = 10 + 8 + 4
+
+// Typed snapshot-corruption errors, matched with errors.Is. Load
+// distinguishes the three ways a file can be bad so operators can tell a
+// torn write (truncated: retry from the previous snapshot) from bit rot
+// (checksum: the media lied) from a file that was never a snapshot at all.
+var (
+	// ErrSnapshotBadMagic reports a file that is not an ansmet snapshot or
+	// uses an unsupported format version.
+	ErrSnapshotBadMagic = errors.New("ansmet: not an ansmet-db-v3 snapshot")
+	// ErrSnapshotTruncated reports a snapshot cut short — the integrity
+	// footer is missing or its recorded length disagrees with the data.
+	ErrSnapshotTruncated = errors.New("ansmet: truncated snapshot")
+	// ErrSnapshotChecksum reports payload bytes that fail the CRC32C check.
+	ErrSnapshotChecksum = errors.New("ansmet: snapshot checksum mismatch")
+)
+
+// castagnoli is the CRC32C table (same polynomial iSCSI and ext4 use;
+// hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // dbSnapshot is the gob-encoded on-disk form of a Database: the quantized
 // vectors and the HNSW graph. The design-specific preprocessing (layout
@@ -37,9 +71,27 @@ type dbSnapshot struct {
 	Graph   *hnsw.Snapshot
 }
 
-// Save serializes the database (vectors + index graph + options) to w.
+// crcWriter tees writes into a CRC32C accumulator and counts bytes.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	n   uint64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	cw.n += uint64(n)
+	return n, err
+}
+
+// Save serializes the database (vectors + index graph + options) to w:
+// raw header, gob stream, then the CRC32C integrity footer Load verifies
+// before decoding. Save performs no atomicity of its own — use SaveFile
+// for crash-safe persistence to a path.
 func (db *Database) Save(w io.Writer) error {
-	if _, err := w.Write(snapshotHeader); err != nil {
+	cw := &crcWriter{w: w, crc: crc32.New(castagnoli)}
+	if _, err := cw.Write(snapshotHeader); err != nil {
 		return fmt.Errorf("ansmet: writing snapshot header: %w", err)
 	}
 	snap := dbSnapshot{
@@ -51,7 +103,77 @@ func (db *Database) Save(w io.Writer) error {
 		Vectors: db.vectors,
 		Graph:   db.sys.Index.Snapshot(),
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	if err := gob.NewEncoder(cw).Encode(&snap); err != nil {
+		return fmt.Errorf("ansmet: encoding snapshot: %w", err)
+	}
+	footer := make([]byte, snapshotFooterLen)
+	copy(footer, snapshotFooterMagic)
+	binary.LittleEndian.PutUint64(footer[10:], cw.n)
+	binary.LittleEndian.PutUint32(footer[18:], cw.crc.Sum32())
+	if _, err := w.Write(footer); err != nil {
+		return fmt.Errorf("ansmet: writing snapshot footer: %w", err)
+	}
+	return nil
+}
+
+// saveFileTestHook, when non-nil, runs after the temp file is durably
+// written but before the rename; tests use it to simulate a crash at the
+// most dangerous moment and assert the destination is untouched.
+var saveFileTestHook func(tmpPath string) error
+
+// SaveFile persists the database to path crash-safely: the snapshot is
+// written to a temporary file in the same directory, fsynced, and only
+// then atomically renamed over path. A crash at any point leaves either
+// the complete old file or the complete new file — never a torn mix — and
+// on error the temporary file is removed.
+func (db *Database) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ansmet-snap-*")
+	if err != nil {
+		return fmt.Errorf("ansmet: creating temp snapshot: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	if err = db.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ansmet: syncing temp snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ansmet: closing temp snapshot: %w", err)
+	}
+	if saveFileTestHook != nil {
+		if err = saveFileTestHook(tmpPath); err != nil {
+			return err
+		}
+	}
+	if err = os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("ansmet: renaming snapshot into place: %w", err)
+	}
+	// Make the rename itself durable (best-effort: some filesystems don't
+	// support fsync on directories).
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reconstructs a database previously written with SaveFile (or
+// Save to a file). design may override the persisted Design.
+func LoadFile(path string, design *Design) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ansmet: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return Load(f, design)
 }
 
 // decodeSnapshot gob-decodes with a recover guard: the gob decoder (and
@@ -72,7 +194,8 @@ func decodeSnapshot(r io.Reader) (snap dbSnapshot, err error) {
 // preprocessing.
 func validateSnapshot(snap *dbSnapshot) error {
 	if snap.Magic != snapshotMagic {
-		return fmt.Errorf("ansmet: unsupported snapshot version %q (want %q)", snap.Magic, snapshotMagic)
+		return fmt.Errorf("%w: unsupported snapshot version %q (want %q)",
+			ErrSnapshotBadMagic, snap.Magic, snapshotMagic)
 	}
 	if snap.Metric < vecmath.L2 || snap.Metric > vecmath.Cosine {
 		return fmt.Errorf("ansmet: snapshot has invalid metric %d", int(snap.Metric))
@@ -113,28 +236,67 @@ func validateSnapshot(snap *dbSnapshot) error {
 	return nil
 }
 
+// verifySnapshotBytes checks the raw header and integrity footer of a
+// complete snapshot image and returns the gob payload (the bytes between
+// header and footer). Every failure is one of the typed corruption errors.
+func verifySnapshotBytes(data []byte) ([]byte, error) {
+	if len(data) < len(snapshotHeader) {
+		if bytes.HasPrefix(snapshotHeader, data) {
+			// A prefix of a valid header: torn at the very start.
+			return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrSnapshotTruncated, len(data))
+		}
+		return nil, fmt.Errorf("%w (short header)", ErrSnapshotBadMagic)
+	}
+	if !bytes.Equal(data[:len(snapshotHeader)], snapshotHeader) {
+		return nil, fmt.Errorf("%w (bad header)", ErrSnapshotBadMagic)
+	}
+	if len(data) < len(snapshotHeader)+snapshotFooterLen {
+		return nil, fmt.Errorf("%w: no integrity footer (torn write?)", ErrSnapshotTruncated)
+	}
+	footer := data[len(data)-snapshotFooterLen:]
+	if !bytes.Equal(footer[:len(snapshotFooterMagic)], snapshotFooterMagic) {
+		return nil, fmt.Errorf("%w: integrity footer missing or damaged (torn write?)", ErrSnapshotTruncated)
+	}
+	payload := data[:len(data)-snapshotFooterLen]
+	wantLen := binary.LittleEndian.Uint64(footer[10:])
+	if wantLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: footer records %d payload bytes, file has %d",
+			ErrSnapshotTruncated, wantLen, len(payload))
+	}
+	wantCRC := binary.LittleEndian.Uint32(footer[18:])
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: crc32c %08x, footer says %08x", ErrSnapshotChecksum, got, wantCRC)
+	}
+	return payload[len(snapshotHeader):], nil
+}
+
 // Load reconstructs a database previously written with Save, re-running the
 // (cheap, deterministic) design preprocessing but not graph construction.
 // design may override the persisted Design; other fields are restored.
 //
 // Load is hardened against corrupt or hostile input: the raw header and
-// format version are checked first, every decoded field is bounds-checked,
-// and graph reconstruction validates the topology — malformed files return
-// errors, never panic (FuzzLoad asserts this).
+// format version are checked first, the CRC32C footer is verified over the
+// whole payload BEFORE any gob byte is decoded (so a torn write or flipped
+// bit is a typed error — ErrSnapshotTruncated, ErrSnapshotChecksum,
+// ErrSnapshotBadMagic — and can never yield a silently wrong database),
+// every decoded field is bounds-checked, and graph reconstruction validates
+// the topology. Malformed files return errors, never panic (FuzzLoad and
+// FuzzLoadSnapshot assert this).
 func Load(r io.Reader, design *Design) (db *Database, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			db, err = nil, fmt.Errorf("ansmet: malformed snapshot: %v", p)
 		}
 	}()
-	header := make([]byte, len(snapshotHeader))
-	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, fmt.Errorf("ansmet: not an ansmet database (short header)")
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ansmet: reading snapshot: %w", err)
 	}
-	if !bytes.Equal(header, snapshotHeader) {
-		return nil, fmt.Errorf("ansmet: not an ansmet database (bad header)")
+	payload, err := verifySnapshotBytes(data)
+	if err != nil {
+		return nil, err
 	}
-	snap, err := decodeSnapshot(r)
+	snap, err := decodeSnapshot(bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("ansmet: decoding snapshot: %w", err)
 	}

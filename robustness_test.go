@@ -85,7 +85,7 @@ func TestSearchManyPanicRecovered(t *testing.T) {
 	db := tinyDB(t)
 	queries := make([][]float32, 32)
 	for i := range queries {
-		queries[i] = db.Vector(uint32(i))
+		queries[i], _ = db.Vector(uint32(i))
 	}
 
 	searchManyTestHook = func(i int) {
@@ -124,7 +124,8 @@ func FuzzLoad(f *testing.F) {
 	valid := buf.Bytes()
 
 	f.Add([]byte{})
-	f.Add([]byte("ANSMETDB2\n"))
+	f.Add([]byte("ANSMETDB3\n"))
+	f.Add([]byte("ANSMETDB2\n")) // previous (pre-checksum) format version
 	f.Add([]byte("not a database at all"))
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])

@@ -1,0 +1,221 @@
+// Crash-safety and corruption tests for the snapshot format: every torn
+// write, bit flip, and damaged footer must surface as a typed error —
+// never a panic, never a silently wrong database — and SaveFile must leave
+// either the complete old file or the complete new file, nothing between.
+package ansmet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validSnapshot returns the bytes of a freshly saved tiny database.
+func validSnapshot(t testing.TB) []byte {
+	t.Helper()
+	db := tinyDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	db := tinyDB(t)
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d vectors, want %d", loaded.Len(), db.Len())
+	}
+	q, _ := db.Vector(3)
+	a, err := db.SearchEf(q, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.SearchEf(q, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d diverges after LoadFile: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want only the snapshot", len(entries))
+	}
+}
+
+// TestLoadSnapshotCorruption: table-driven truncations, bit flips, and
+// footer damage — each must return the matching typed error.
+func TestLoadSnapshotCorruption(t *testing.T) {
+	valid := validSnapshot(t)
+	if len(valid) < len(snapshotHeader)+snapshotFooterLen+64 {
+		t.Fatalf("snapshot suspiciously small: %d bytes", len(valid))
+	}
+	flip := func(data []byte, at int) []byte {
+		out := append([]byte(nil), data...)
+		out[at] ^= 0x10
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshotTruncated},
+		{"torn-header", valid[:4], ErrSnapshotTruncated},
+		{"header-only", valid[:len(snapshotHeader)], ErrSnapshotTruncated},
+		{"torn-mid-gob", valid[:len(valid)/2], ErrSnapshotTruncated},
+		{"missing-last-byte", valid[:len(valid)-1], ErrSnapshotTruncated},
+		{"missing-footer", valid[:len(valid)-snapshotFooterLen], ErrSnapshotTruncated},
+		{"not-a-snapshot", []byte("definitely not a database"), ErrSnapshotBadMagic},
+		{"old-version-header", []byte("ANSMETDB2\n plus some gob bytes and then padding to get past the footer length check"), ErrSnapshotBadMagic},
+		{"flipped-header-bit", flip(valid, 2), ErrSnapshotBadMagic},
+		{"flipped-payload-bit", flip(valid, len(valid)/2), ErrSnapshotChecksum},
+		{"flipped-first-gob-bit", flip(valid, len(snapshotHeader)), ErrSnapshotChecksum},
+		{"flipped-crc-bit", flip(valid, len(valid)-1), ErrSnapshotChecksum},
+		{"flipped-length-bit", flip(valid, len(valid)-snapshotFooterLen+10), ErrSnapshotTruncated},
+		{"damaged-footer-magic", flip(valid, len(valid)-snapshotFooterLen), ErrSnapshotTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Load(bytes.NewReader(tc.data), nil)
+			if err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			if db != nil {
+				t.Fatal("Load returned both a database and an error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadEveryTruncation: every strict prefix of a valid snapshot must be
+// rejected with a typed corruption error (acceptance: LoadFile rejects
+// every truncated snapshot). Sampled stride keeps the test fast.
+func TestLoadEveryTruncation(t *testing.T) {
+	valid := validSnapshot(t)
+	for cut := 0; cut < len(valid); cut += 37 {
+		db, err := Load(bytes.NewReader(valid[:cut]), nil)
+		if err == nil || db != nil {
+			t.Fatalf("truncation at %d/%d bytes loaded without error", cut, len(valid))
+		}
+		if !errors.Is(err, ErrSnapshotTruncated) && !errors.Is(err, ErrSnapshotBadMagic) {
+			t.Fatalf("truncation at %d: err = %v, want typed corruption error", cut, err)
+		}
+	}
+}
+
+// TestSaveFileCrashLeavesNoPartial simulates a crash after the temp file
+// is written but before the rename: the destination must be untouched
+// (absent, or the previous complete snapshot) and the temp file removed.
+func TestSaveFileCrashLeavesNoPartial(t *testing.T) {
+	db := tinyDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+
+	saveFileTestHook = func(string) error { return fmt.Errorf("injected crash before rename") }
+	defer func() { saveFileTestHook = nil }()
+
+	if err := db.SaveFile(path); err == nil {
+		t.Fatal("SaveFile succeeded despite injected crash")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after crashed first save (stat err=%v)", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("crashed SaveFile left %d files behind", len(entries))
+	}
+
+	// Now the overwrite case: a crash during re-save must leave the
+	// previous complete snapshot readable.
+	saveFileTestHook = nil
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveFileTestHook = func(string) error { return fmt.Errorf("injected crash before rename") }
+	if err := db.SaveFile(path); err == nil {
+		t.Fatal("overwriting SaveFile succeeded despite injected crash")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("crashed overwrite modified the destination file")
+	}
+	if _, err := LoadFile(path, nil); err != nil {
+		t.Fatalf("previous snapshot unreadable after crashed overwrite: %v", err)
+	}
+}
+
+// FuzzLoadSnapshot: bit-flipped and truncated variants of a real SaveFile
+// output must never panic and never load; arbitrary bytes must never
+// panic. (Complements FuzzLoad, which starts from hostile bytes; this one
+// seeds the corpus with the real on-disk artifact.)
+func FuzzLoadSnapshot(f *testing.F) {
+	db := tinyDB(f)
+	path := filepath.Join(f.TempDir(), "db.snap")
+	if err := db.SaveFile(path); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-snapshotFooterLen]) // footer torn off
+	f.Add(valid[:len(valid)/3])
+	for _, at := range []int{0, len(snapshotHeader), len(valid) / 2, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[at] ^= 0x01
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data), nil)
+		if err != nil && db != nil {
+			t.Fatal("Load returned both a database and an error")
+		}
+		if err == nil && db == nil {
+			t.Fatal("Load returned neither a database nor an error")
+		}
+		// Any single-byte difference from the valid image must be caught:
+		// equality of CRC32C under a sparse flip is not possible.
+		if err == nil && len(data) == len(valid) && !bytes.Equal(data, valid) {
+			diff := 0
+			for i := range data {
+				if data[i] != valid[i] {
+					diff++
+				}
+			}
+			if diff <= 2 {
+				t.Fatalf("snapshot with %d flipped bytes loaded successfully", diff)
+			}
+		}
+	})
+}
