@@ -1,0 +1,451 @@
+package ansmet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ansmet/internal/backoff"
+	"ansmet/internal/cluster"
+	"ansmet/internal/hnsw"
+	"ansmet/internal/kmeans"
+)
+
+// PartitionScheme selects how vectors are assigned to shards.
+type PartitionScheme int
+
+const (
+	// PartitionHash shards by jump consistent hash on the vector id
+	// (default): balanced, stateless, and stable — growing from N to N+1
+	// shards moves only ~1/(N+1) of the vectors.
+	PartitionHash PartitionScheme = iota
+	// PartitionKMeans shards by k-means cluster of the vector values, so a
+	// query's true neighbors concentrate on few shards. Merged results are
+	// identical either way (the merge is over the full fan-out); the
+	// scheme changes which shard does the finding, not what is found.
+	PartitionKMeans
+)
+
+var partitionNames = [...]string{"hash", "kmeans"}
+
+// String names the scheme.
+func (p PartitionScheme) String() string {
+	if p < 0 || int(p) >= len(partitionNames) {
+		return fmt.Sprintf("PartitionScheme(%d)", int(p))
+	}
+	return partitionNames[p]
+}
+
+// ParsePartitionScheme maps a flag string to a scheme.
+func ParsePartitionScheme(s string) (PartitionScheme, error) {
+	for i, n := range partitionNames {
+		if s == n {
+			return PartitionScheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ansmet: unknown partition scheme %q (want hash or kmeans)", s)
+}
+
+// ClusterOptions configures NewCluster: how to partition, how to build each
+// shard, and how the fault-tolerant fan-out behaves.
+type ClusterOptions struct {
+	// Shards is the shard count (default 1).
+	Shards int
+	// Partition selects the vector→shard assignment (default PartitionHash).
+	Partition PartitionScheme
+	// Build configures each shard Database exactly like New.
+	Build Options
+
+	// ShardTimeout is the absolute per-shard budget for requests without a
+	// deadline; requests WITH a deadline always get a budget carved from it
+	// (see internal/cluster). 0 leaves deadline-less requests unbounded.
+	ShardTimeout time.Duration
+	// MaxInFlightPerShard sheds per-shard overload (0 = unlimited).
+	MaxInFlightPerShard int
+	// DisableHedging turns off hedged requests to slow shards.
+	DisableHedging bool
+	// BreakerFailureThreshold is the consecutive failures that open a shard
+	// breaker (default 3).
+	BreakerFailureThreshold int
+	// BreakerBackoff is the base of the jittered exponential probe backoff
+	// (default 50ms).
+	BreakerBackoff time.Duration
+}
+
+func (o ClusterOptions) fanoutConfig() cluster.Config {
+	cfg := cluster.Config{
+		ShardTimeout:        o.ShardTimeout,
+		MaxInFlightPerShard: o.MaxInFlightPerShard,
+		Hedge:               cluster.HedgeConfig{Disabled: o.DisableHedging},
+		Breaker: cluster.BreakerConfig{
+			FailureThreshold: o.BreakerFailureThreshold,
+			Seed:             o.Build.Seed,
+		},
+	}
+	if o.BreakerBackoff > 0 {
+		cfg.Breaker.Backoff = backoff.Policy{Base: o.BreakerBackoff}
+	}
+	return cfg
+}
+
+// ShardFault is one entry of a degraded query's per-shard error taxonomy.
+type ShardFault struct {
+	// Shard is the failing shard's index.
+	Shard int
+	// Kind is the failure class: "crash", "timeout", "canceled",
+	// "breaker-open", or "shed".
+	Kind string
+	// Err is the underlying cause.
+	Err error
+}
+
+// ClusterResult is one scatter-gather search answer.
+type ClusterResult struct {
+	// Neighbors is the merged top-k in the canonical (Dist, ID) order —
+	// with a healthy cluster, exactly what the unsharded search returns.
+	Neighbors []Neighbor
+	// Partial reports a degraded answer: at least one shard is missing
+	// from the merge (down, slow, skipped, or shed).
+	Partial bool
+	// Faults says which shards degraded and how; nil when healthy.
+	Faults []ShardFault
+	// Hedged is how many hedge requests the query fired.
+	Hedged int
+}
+
+// Cluster is a Database partitioned into independently searched shards
+// behind a fault-tolerant scatter-gather coordinator. Build one with
+// NewCluster or restore one with LoadClusterDir; search it with the Ctx
+// family. Safe for concurrent use.
+type Cluster struct {
+	opts   ClusterOptions
+	shards []*Database
+	ids    [][]uint32 // shard-local row → global id
+	coord  *cluster.Coordinator
+	dim    int
+	total  int
+}
+
+// minShardVectors is the smallest population a shard Database can be
+// built over; smaller partitions are folded into the largest shard.
+const minShardVectors = 2
+
+// NewCluster partitions the vectors, builds one Database per (non-empty)
+// shard, and wires the scatter-gather coordinator over them.
+func NewCluster(vectors [][]float32, opts ClusterOptions) (*Cluster, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("ansmet: empty dataset")
+	}
+	assign, err := partitionVectors(vectors, opts)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][][]float32, opts.Shards)
+	ids := make([][]uint32, opts.Shards)
+	for i, s := range assign {
+		groups[s] = append(groups[s], vectors[i])
+		ids[s] = append(ids[s], uint32(i))
+	}
+	// Fold shards too small to build an index (offline layout sampling
+	// needs at least minShardVectors) into the largest shard — these only
+	// appear when a tiny dataset is cut many ways.
+	big := -1
+	for s := range groups {
+		if len(groups[s]) >= minShardVectors && (big == -1 || len(groups[s]) > len(groups[big])) {
+			big = s
+		}
+	}
+	if big >= 0 {
+		for s := range groups {
+			if s != big && len(groups[s]) > 0 && len(groups[s]) < minShardVectors {
+				groups[big] = append(groups[big], groups[s]...)
+				ids[big] = append(ids[big], ids[s]...)
+				groups[s], ids[s] = nil, nil
+			}
+		}
+	}
+	// Drop empty shards (tiny datasets or unlucky hashing): an empty shard
+	// has nothing to search and Database refuses empty populations.
+	var keptGroups [][][]float32
+	var keptIDs [][]uint32
+	for s := range groups {
+		if len(groups[s]) > 0 {
+			keptGroups = append(keptGroups, groups[s])
+			keptIDs = append(keptIDs, ids[s])
+		}
+	}
+	dbs := make([]*Database, len(keptGroups))
+	errs := make([]error, len(keptGroups))
+	var wg sync.WaitGroup
+	for s := range keptGroups {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			dbs[s], errs[s] = New(keptGroups[s], opts.Build)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ansmet: building shard %d: %w", s, err)
+		}
+	}
+	return assembleCluster(dbs, keptIDs, len(vectors), opts)
+}
+
+// assembleCluster wires built shard databases into a Cluster.
+func assembleCluster(dbs []*Database, ids [][]uint32, total int, opts ClusterOptions) (*Cluster, error) {
+	funcs := make([]cluster.ShardFunc, len(dbs))
+	for s := range dbs {
+		funcs[s] = shardSearchFunc(dbs[s], ids[s])
+	}
+	coord, err := cluster.New(funcs, opts.fanoutConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		opts: opts, shards: dbs, ids: ids, coord: coord,
+		dim: dbs[0].sys.Dim, total: total,
+	}, nil
+}
+
+// partitionVectors computes the vector→shard assignment.
+func partitionVectors(vectors [][]float32, opts ClusterOptions) ([]int, error) {
+	assign := make([]int, len(vectors))
+	switch opts.Partition {
+	case PartitionHash:
+		for i := range vectors {
+			assign[i] = jumpHash(uint64(i), opts.Shards)
+		}
+	case PartitionKMeans:
+		res, err := kmeans.Run(vectors, kmeans.Config{K: opts.Shards, Seed: opts.Build.Seed + 1})
+		if err != nil {
+			return nil, fmt.Errorf("ansmet: kmeans partitioning: %w", err)
+		}
+		copy(assign, res.Assign)
+	default:
+		return nil, fmt.Errorf("ansmet: unknown partition scheme %d", int(opts.Partition))
+	}
+	return assign, nil
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash: uniform over buckets,
+// and growing the bucket count relocates only ~1/(n+1) of the keys.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// shardSearchFunc adapts one shard Database into the coordinator's shard
+// interface: search shard-locally, then remap local row ids to global
+// vector ids and restore the canonical (Dist, ID) order the merge needs.
+func shardSearchFunc(db *Database, ids []uint32) cluster.ShardFunc {
+	return func(ctx context.Context, q []float32, k, ef int, dst []hnsw.Neighbor) ([]hnsw.Neighbor, error) {
+		out, err := db.SearchCtxInto(ctx, q, k, ef, dst)
+		if err != nil {
+			var ce *CancelError
+			if errors.As(err, &ce) && ce.Partial {
+				remapToGlobal(out, ids)
+				return out, err
+			}
+			return nil, err
+		}
+		remapToGlobal(out, ids)
+		return out, nil
+	}
+}
+
+// remapToGlobal rewrites shard-local row ids to global vector ids in place
+// and restores the canonical order. The list stays sorted by distance, so
+// only equal-distance runs can be out of order after remapping — insertion
+// sort is linear on that shape and allocation-free.
+func remapToGlobal(nn []Neighbor, ids []uint32) {
+	for i := range nn {
+		nn[i].ID = ids[nn[i].ID]
+	}
+	for i := 1; i < len(nn); i++ {
+		for j := i; j > 0 && nn[j].Less(nn[j-1]); j-- {
+			nn[j], nn[j-1] = nn[j-1], nn[j]
+		}
+	}
+}
+
+// Shards returns the number of (non-empty) shards.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Len returns the total number of indexed vectors across all shards.
+func (c *Cluster) Len() int { return c.total }
+
+// SearchCtx searches the cluster with the default beam width (2k, min 32),
+// degrading to a partial merged answer when shards misbehave.
+func (c *Cluster) SearchCtx(ctx context.Context, q []float32, k int) (ClusterResult, error) {
+	ef := 2 * k
+	if ef < 32 {
+		ef = 32
+	}
+	return c.SearchEfCtx(ctx, q, k, ef)
+}
+
+// SearchEfCtx is SearchCtx with an explicit beam width.
+func (c *Cluster) SearchEfCtx(ctx context.Context, q []float32, k, ef int) (ClusterResult, error) {
+	return c.SearchEfCtxInto(ctx, q, k, ef, nil)
+}
+
+// SearchEfCtxInto is SearchEfCtx appending the merged results into dst[:0].
+//
+// The error is nil for both healthy and degraded answers — degradation is
+// reported in the result (Partial, Faults), because a partial top-k is
+// still an answer. It is non-nil only when the query's own context fired
+// (the usual *CancelError contract, with any best-effort merge in the
+// result) or no shard produced anything at all.
+func (c *Cluster) SearchEfCtxInto(ctx context.Context, q []float32, k, ef int, dst []Neighbor) (ClusterResult, error) {
+	if err := c.shards[0].validateQuery(q, k, ef); err != nil {
+		return ClusterResult{}, err
+	}
+	res, err := c.coord.SearchInto(ctx, q, k, ef, dst)
+	out := ClusterResult{Neighbors: res.Neighbors, Partial: res.Partial, Hedged: res.Hedged}
+	if len(res.Errors) > 0 {
+		out.Faults = make([]ShardFault, len(res.Errors))
+		for i, e := range res.Errors {
+			out.Faults[i] = ShardFault{Shard: e.Shard, Kind: e.Kind.String(), Err: e.Err}
+		}
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return out, &CancelError{Err: ErrDeadlineExceeded, Partial: len(out.Neighbors) > 0}
+		case errors.Is(err, context.Canceled):
+			return out, &CancelError{Err: ErrCanceled, Partial: len(out.Neighbors) > 0}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// ExactSearchCtx scatter-gathers the exact (linear-scan) search: each shard
+// scans its partition and the exact per-shard top-k merge IS the exact
+// global top-k at any k — no approximation caveat. Unlike SearchEfCtx this
+// auxiliary path fans out synchronously and fails fast on any shard error;
+// it does not hedge or degrade.
+func (c *Cluster) ExactSearchCtx(ctx context.Context, q []float32, k int) ([]Neighbor, int, error) {
+	lists := make([][]Neighbor, len(c.shards))
+	lines := make([]int, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			nn, ln, err := c.shards[s].ExactSearchCtx(ctx, q, k)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			remapToGlobal(nn, c.ids[s])
+			lists[s], lines[s] = nn, ln
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("ansmet: exact search on shard %d: %w", s, err)
+		}
+	}
+	totalLines := 0
+	for _, ln := range lines {
+		totalLines += ln
+	}
+	return hnsw.MergeTopK(nil, lists, k), totalLines, nil
+}
+
+// SearchFiltered scatter-gathers the attribute-filtered search; the
+// predicate receives GLOBAL vector ids. Like ExactSearchCtx this auxiliary
+// path fails fast instead of degrading.
+func (c *Cluster) SearchFiltered(q []float32, k int, filter func(uint32) bool) ([]Neighbor, error) {
+	lists := make([][]Neighbor, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ids := c.ids[s]
+			local := func(id uint32) bool { return filter(ids[id]) }
+			nn, err := c.shards[s].SearchFiltered(q, k, local)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			remapToGlobal(nn, ids)
+			lists[s] = nn
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ansmet: filtered search on shard %d: %w", s, err)
+		}
+	}
+	return hnsw.MergeTopK(nil, lists, k), nil
+}
+
+// ClusterStats surfaces the cluster's health and degradation counters: the
+// coordinator's fan-out/fault totals, each shard breaker's position, and
+// the per-shard Database stats (the same ansmet.Stats an unsharded
+// deployment reports).
+type ClusterStats struct {
+	Shards         int
+	Vectors        int
+	Partition      string
+	DegradedShards int      // shards whose breaker is not closed
+	BreakerStates  []string // per shard: closed / open / half-open
+
+	// Coordinator lifetime totals.
+	Queries      uint64
+	ShardCalls   uint64
+	Hedges       uint64
+	HedgeWins    uint64
+	Partials     uint64
+	Timeouts     uint64
+	Crashes      uint64
+	BreakerSkips uint64
+	Sheds        uint64
+	BreakerTrips uint64
+	Probes       uint64
+	Reenables    uint64
+	AllFailed    uint64
+
+	// Shard holds each shard Database's own Stats.
+	Shard []Stats
+}
+
+// Stats reports the cluster's health counters.
+func (c *Cluster) Stats() ClusterStats {
+	m := c.coord.Metrics().Snapshot()
+	st := ClusterStats{
+		Shards: len(c.shards), Vectors: c.total, Partition: c.opts.Partition.String(),
+		DegradedShards: c.coord.DegradedShards(),
+		Queries:        m.Queries, ShardCalls: m.ShardCalls,
+		Hedges: m.Hedges, HedgeWins: m.HedgeWins,
+		Partials: m.Partials, Timeouts: m.Timeouts, Crashes: m.Crashes,
+		BreakerSkips: m.BreakerSkips, Sheds: m.Sheds, BreakerTrips: m.BreakerTrips,
+		Probes: m.Probes, Reenables: m.Reenables, AllFailed: m.AllFailed,
+	}
+	for _, b := range c.coord.BreakerStates() {
+		st.BreakerStates = append(st.BreakerStates, b.String())
+	}
+	for _, db := range c.shards {
+		st.Shard = append(st.Shard, db.Stats())
+	}
+	return st
+}

@@ -34,16 +34,16 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve")
+	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve, cluster")
 	n := flag.Int("n", 400, "dataset size")
 	nq := flag.Int("q", 8, "query count")
 	seed := flag.Uint64("seed", 99, "fault schedule seed")
 	flag.Parse()
 
 	switch *scenario {
-	case "all", "recoverable", "crash", "silent", "serve":
+	case "all", "recoverable", "crash", "silent", "serve", "cluster":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent or serve)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent, serve or cluster)\n", *scenario)
 		os.Exit(2)
 	}
 	if *n < 50 || *nq < 1 {
@@ -81,6 +81,11 @@ func main() {
 	if sel == "all" || sel == "serve" {
 		run("serve (HTTP soak: overload, cancels, garbage, panics, drain)", func() error {
 			return runServeSoak(*n, *seed)
+		})
+	}
+	if sel == "all" || sel == "cluster" {
+		run("cluster (sharded soak: crashed + slow + flapping shards)", func() error {
+			return runClusterSoak(*n, *seed)
 		})
 	}
 	if failed {

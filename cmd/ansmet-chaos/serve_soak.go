@@ -26,6 +26,7 @@ import (
 
 	"ansmet"
 	"ansmet/internal/dataset"
+	"ansmet/internal/leakcheck"
 	"ansmet/internal/serve"
 )
 
@@ -103,8 +104,7 @@ func runServeSoak(n int, seed uint64) error {
 			return fmt.Errorf("warmup request %d: code %d, err %v", i, code, err)
 		}
 	}
-	time.Sleep(50 * time.Millisecond)
-	baseline := runtime.NumGoroutine()
+	baseline := leakcheck.Baseline()
 
 	rng := rand.New(rand.NewSource(int64(seed)))
 	unexpected5xx := 0
@@ -213,15 +213,9 @@ func runServeSoak(n int, seed uint64) error {
 	// Phase 6: goroutine leak check. Everything the soak spawned must
 	// settle back to (about) the pre-soak baseline.
 	client.CloseIdleConnections()
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= baseline+2 {
-			fmt.Printf("    goroutines: %d (baseline %d) — no leak\n", g, baseline)
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("goroutine leak: %d alive, baseline %d", runtime.NumGoroutine(), baseline)
-		}
-		time.Sleep(20 * time.Millisecond)
+	if err := leakcheck.Settle(baseline); err != nil {
+		return err
 	}
+	fmt.Printf("    goroutines: %d (baseline %d) — no leak\n", runtime.NumGoroutine(), baseline)
+	return nil
 }

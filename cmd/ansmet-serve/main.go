@@ -6,17 +6,25 @@
 // accepting, finish in-flight up to -drain, then hard-cancel stragglers
 // through the context plumbing).
 //
+// With -shards N the database is partitioned behind the fault-tolerant
+// scatter-gather coordinator: per-shard deadline budgets carved from the
+// request deadline, hedged requests to slow shards, per-shard circuit
+// breakers, and partial-result degradation surfaced as the
+// X-ANSMET-Partial header plus "partial"/"faults" response fields.
+//
 // Endpoints:
 //
 //	POST /v1/search  {"query":[...], "k":10, "ef":64, "timeout_ms":500}
 //	GET  /v1/health  liveness (200 while the process runs)
 //	GET  /v1/ready   readiness (503 while draining)
-//	GET  /debug/vars serving + admission counters, JSON
+//	GET  /debug/vars serving + admission (+ cluster) counters, JSON
 //
 // Usage:
 //
 //	ansmet-serve -db snapshot.db                 # serve a SaveFile snapshot
 //	ansmet-serve -synth 5000 -profile SIFT       # demo: synthetic dataset
+//	ansmet-serve -synth 5000 -shards 4           # sharded scatter-gather
+//	ansmet-serve -shards 4 -cluster-dir ./cl     # load (or build+save) per-shard snapshots
 //
 // Example:
 //
@@ -42,33 +50,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dbPath  = flag.String("db", "", "snapshot written by SaveFile (empty: build synthetic)")
-		synth   = flag.Int("synth", 2000, "synthetic dataset size when -db is empty")
-		profile = flag.String("profile", "SIFT", "synthetic dataset profile (SIFT, DEEP, SPACEV, ...)")
-		timeout = flag.Duration("timeout", 2*time.Second, "default per-request search deadline")
-		maxTO   = flag.Duration("max-timeout", 10*time.Second, "cap on client-requested deadlines")
-		rate    = flag.Float64("rate", 0, "sustained admission rate, requests/s (0: unlimited)")
-		burst   = flag.Int("burst", 0, "token bucket burst (0: rate-derived)")
-		conc    = flag.Int("concurrency", 0, "max concurrent searches (0: 8)")
-		queue   = flag.Int("queue", 0, "admission queue depth beyond concurrency (0: 2x concurrency)")
-		body    = flag.Int64("max-body", 1<<20, "request body size limit, bytes")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
-		panicOK = flag.Bool("allow-panic-probe", false, "honor {\"panic\":true} chaos probes (testing only)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dbPath     = flag.String("db", "", "snapshot written by SaveFile (empty: build synthetic)")
+		synth      = flag.Int("synth", 2000, "synthetic dataset size when -db is empty")
+		profile    = flag.String("profile", "SIFT", "synthetic dataset profile (SIFT, DEEP, SPACEV, ...)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "default per-request search deadline")
+		maxTO      = flag.Duration("max-timeout", 10*time.Second, "cap on client-requested deadlines")
+		rate       = flag.Float64("rate", 0, "sustained admission rate, requests/s (0: unlimited)")
+		burst      = flag.Int("burst", 0, "token bucket burst (0: rate-derived)")
+		conc       = flag.Int("concurrency", 0, "max concurrent searches (0: 8)")
+		queue      = flag.Int("queue", 0, "admission queue depth beyond concurrency (0: 2x concurrency)")
+		body       = flag.Int64("max-body", 1<<20, "request body size limit, bytes")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+		panicOK    = flag.Bool("allow-panic-probe", false, "honor {\"panic\":true} chaos probes (testing only)")
+		shards     = flag.Int("shards", 0, "shard count for scatter-gather serving (0: unsharded)")
+		partition  = flag.String("partition", "hash", "shard partitioning scheme (hash, kmeans)")
+		clusterDir = flag.String("cluster-dir", "", "cluster snapshot directory: load if a manifest exists, else build and save into it (requires -shards)")
+		noHedge    = flag.Bool("no-hedge", false, "disable hedged requests to slow shards")
 	)
 	flag.Parse()
 
-	db, err := openDatabase(*dbPath, *profile, *synth)
-	if err != nil {
-		log.Fatalf("ansmet-serve: %v", err)
-	}
-	st := db.Stats()
-	log.Printf("database ready: %d vectors, dim %d, design %v", st.Vectors, st.Dim, st.Design)
-
-	srvCore, err := serve.New(serve.Config{
-		Search: func(ctx context.Context, q []float32, k, ef int) ([]ansmet.Neighbor, error) {
-			return db.SearchEfCtx(ctx, q, k, ef)
-		},
+	cfg := serve.Config{
 		BadRequest:     ansmet.IsInvalidInput,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
@@ -80,7 +82,37 @@ func main() {
 			MaxQueue:      *queue,
 		},
 		AllowPanicProbe: *panicOK,
-	})
+	}
+
+	if *shards > 0 || *clusterDir != "" {
+		cl, err := openCluster(*dbPath, *profile, *partition, *clusterDir, *synth, *shards, *conc, *noHedge)
+		if err != nil {
+			log.Fatalf("ansmet-serve: %v", err)
+		}
+		st := cl.Stats()
+		log.Printf("cluster ready: %d vectors across %d shards (%s partition)", st.Vectors, st.Shards, st.Partition)
+		cfg.SearchOutcome = func(ctx context.Context, q []float32, k, ef int) (serve.Outcome, error) {
+			res, err := cl.SearchEfCtx(ctx, q, k, ef)
+			out := serve.Outcome{Neighbors: res.Neighbors, Partial: res.Partial, Hedged: res.Hedged}
+			for _, f := range res.Faults {
+				out.Faults = append(out.Faults, fmt.Sprintf("shard %d: %s: %v", f.Shard, f.Kind, f.Err))
+			}
+			return out, err
+		}
+		cfg.ExtraVars = func() map[string]any { return map[string]any{"cluster": cl.Stats()} }
+	} else {
+		db, err := openDatabase(*dbPath, *profile, *synth)
+		if err != nil {
+			log.Fatalf("ansmet-serve: %v", err)
+		}
+		st := db.Stats()
+		log.Printf("database ready: %d vectors, dim %d, design %v", st.Vectors, st.Dim, st.Design)
+		cfg.Search = func(ctx context.Context, q []float32, k, ef int) ([]ansmet.Neighbor, error) {
+			return db.SearchEfCtx(ctx, q, k, ef)
+		}
+	}
+
+	srvCore, err := serve.New(cfg)
 	if err != nil {
 		log.Fatalf("ansmet-serve: %v", err)
 	}
@@ -138,4 +170,63 @@ func openDatabase(path, profile string, synth int) (*ansmet.Database, error) {
 	return ansmet.New(ds.Vectors, ansmet.Options{
 		Metric: p.Metric, Elem: p.Elem, EfConstruction: 100, Seed: 42,
 	})
+}
+
+// openCluster restores a cluster from -cluster-dir when a manifest is
+// present, or builds one (synthetic dataset) and, when -cluster-dir is
+// set, saves the per-shard snapshots there for the next start.
+func openCluster(dbPath, profile, partition, dir string, synth, shards, conc int, noHedge bool) (*ansmet.Cluster, error) {
+	if dbPath != "" {
+		return nil, errors.New("-shards partitions a built dataset; combine it with -synth or -cluster-dir, not -db")
+	}
+	scheme, err := ansmet.ParsePartitionScheme(partition)
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate admission works in layers: the serve admission controller
+	// bounds concurrent REQUESTS, and each admitted request holds one slot
+	// on every shard it fans out to. Sizing the per-shard budget to the
+	// request concurrency plus hedge headroom means shard-level shedding
+	// only fires when hedges pile onto an already-degraded shard — healthy
+	// traffic is never shed twice.
+	if conc <= 0 {
+		conc = 8 // serve.AdmissionConfig's MaxConcurrent default
+	}
+	opts := ansmet.ClusterOptions{
+		Shards:              shards,
+		Partition:           scheme,
+		MaxInFlightPerShard: conc + 2,
+		DisableHedging:      noHedge,
+	}
+	if dir != "" {
+		if _, statErr := os.Stat(dir); statErr == nil {
+			cl, err := ansmet.LoadClusterDir(dir, opts)
+			if err != nil {
+				return nil, fmt.Errorf("restoring cluster from %s: %w", dir, err)
+			}
+			log.Printf("restored cluster snapshots from %s", dir)
+			return cl, nil
+		}
+	}
+	if shards <= 0 {
+		return nil, errors.New("-cluster-dir has no manifest to restore; pass -shards to build one")
+	}
+	if synth < 50 {
+		return nil, errors.New("-synth must be at least 50")
+	}
+	p := dataset.ProfileByName(profile)
+	ds := dataset.Generate(p, synth, 1, 42)
+	opts.Build = ansmet.Options{Metric: p.Metric, Elem: p.Elem, EfConstruction: 100, Seed: 42}
+	log.Printf("building synthetic %s cluster (%d vectors, dim %d, %d shards)...", profile, synth, p.Dim, shards)
+	cl, err := ansmet.NewCluster(ds.Vectors, opts)
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if err := cl.SaveDir(dir); err != nil {
+			return nil, fmt.Errorf("saving cluster to %s: %w", dir, err)
+		}
+		log.Printf("saved per-shard snapshots to %s", dir)
+	}
+	return cl, nil
 }

@@ -1,0 +1,71 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+
+	"ansmet/internal/stats"
+)
+
+func TestZeroBaseDisables(t *testing.T) {
+	var p Policy
+	if d := p.Delay(3, stats.NewRNG(1)); d != 0 {
+		t.Fatalf("zero-base policy delayed %v, want 0", d)
+	}
+}
+
+func TestExponentialGrowthWithoutJitter(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Fatalf("attempt %d: delay %v, want %v", i, got, w)
+		}
+	}
+	// Negative attempts clamp to the first delay rather than panicking.
+	if got := p.Delay(-3, nil); got != want[0] {
+		t.Fatalf("negative attempt: delay %v, want %v", got, want[0])
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Jitter: 0.5}
+	rng := stats.NewRNG(42)
+	lo, hi := 5*time.Millisecond, 15*time.Millisecond
+	varied := false
+	var prev time.Duration = -1
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0, rng)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if prev >= 0 && d != prev {
+			varied = true
+		}
+		prev = d
+	}
+	if !varied {
+		t.Fatalf("jitter produced a constant delay — no decorrelation")
+	}
+	// Same seed, same schedule: reproducibility is the contract the fault
+	// injector and chaos harness rely on.
+	a, b := stats.NewRNG(7), stats.NewRNG(7)
+	for i := 0; i < 50; i++ {
+		if da, db := p.Delay(i, a), p.Delay(i, b); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+func TestJitterNeverExceedsMax(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 12 * time.Millisecond, Jitter: 0.5}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		if d := p.Delay(5, rng); d > 12*time.Millisecond {
+			t.Fatalf("delay %v exceeds Max", d)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the ring size the quantile is computed over. 64 recent
+// observations track load shifts quickly while keeping the re-sort cost
+// (64·log 64 comparisons, amortized over refreshEvery responses) noise.
+const latencyWindow = 64
+
+// refreshEvery is how many observations elapse between quantile
+// recomputations once the window is warm.
+const refreshEvery = 8
+
+// latencyTracker keeps a sliding window of per-shard response times and a
+// cached quantile of it. Observe is called on every primary shard response;
+// Quantile is read on every fan-out to pick the hedge threshold, so it must
+// be cheap — it reads one atomic, never touching the lock.
+type latencyTracker struct {
+	minSamples int
+
+	mu      sync.Mutex
+	ring    [latencyWindow]time.Duration
+	n       int // total observations ever
+	scratch [latencyWindow]time.Duration
+
+	cached atomic.Int64 // cached quantile in ns; 0 = not warm yet
+	q      float64
+}
+
+func newLatencyTracker(q float64, minSamples int) *latencyTracker {
+	return &latencyTracker{q: q, minSamples: minSamples}
+}
+
+// Observe records one response time and refreshes the cached quantile when
+// due.
+func (t *latencyTracker) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.n%latencyWindow] = d
+	t.n++
+	if t.n >= t.minSamples && (t.n%refreshEvery == 0 || t.cached.Load() == 0) {
+		w := t.n
+		if w > latencyWindow {
+			w = latencyWindow
+		}
+		s := t.scratch[:w]
+		copy(s, t.ring[:w])
+		slices.Sort(s)
+		idx := int(t.q * float64(w-1))
+		t.cached.Store(int64(s[idx]))
+	}
+	t.mu.Unlock()
+}
+
+// Quantile returns the cached windowed quantile; ok is false until
+// minSamples observations have been recorded (hedging stays off while the
+// tracker is cold — a hedge fired off a garbage estimate is pure waste).
+func (t *latencyTracker) Quantile() (d time.Duration, ok bool) {
+	v := t.cached.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return time.Duration(v), true
+}

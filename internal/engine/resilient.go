@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ansmet/internal/backoff"
+	"ansmet/internal/stats"
 	"ansmet/internal/vecmath"
 )
 
@@ -51,10 +53,17 @@ type ResilienceConfig struct {
 	// (default 64). Comparisons, not wall time, keep the simulator
 	// deterministic.
 	ProbeAfter int
-	// Backoff is the base delay between retries, doubling per attempt;
-	// zero (the default) retries immediately, which is what the functional
-	// simulator wants.
+	// Backoff is the base delay between retries, growing exponentially and
+	// jittered per attempt (internal/backoff: ×2 per retry, ±50% uniform
+	// jitter, capped at 30×Base) so concurrent workers hitting the same
+	// failing rank do not retry in lockstep. Zero (the default) retries
+	// immediately, which is what the functional simulator wants.
 	Backoff time.Duration
+}
+
+// retryPolicy is the jittered exponential schedule derived from Backoff.
+func (c ResilienceConfig) retryPolicy() backoff.Policy {
+	return backoff.Policy{Base: c.Backoff}.WithDefaults()
 }
 
 // WithDefaults fills zero fields with the defaults above.
@@ -316,6 +325,11 @@ type Resilient struct {
 	counters *Counters
 	cfg      ResilienceConfig
 
+	// retryDelay computes the jittered sleep before retry n. Each Resilient
+	// draws jitter from its own seeded RNG, so workers sharing a BreakerSet
+	// still retry at decorrelated moments.
+	retryDelay func(attempt int) time.Duration
+
 	scratch []int
 }
 
@@ -336,11 +350,18 @@ func NewResilient(primary Fallible, fallback Engine, ranksOf func(id uint32, dst
 	if counters == nil {
 		counters = &Counters{}
 	}
+	pol := cfg.retryPolicy()
+	rng := stats.NewRNG(resilientSeq.Add(1))
 	return &Resilient{
 		primary: primary, fallback: fallback, ranksOf: ranksOf,
 		breakers: breakers, counters: counters, cfg: cfg.WithDefaults(),
+		retryDelay: func(attempt int) time.Duration { return pol.Delay(attempt, rng) },
 	}
 }
+
+// resilientSeq seeds each Resilient's jitter RNG distinctly, so workers
+// constructed from the same config still jitter independently.
+var resilientSeq atomic.Uint64
 
 // Counters returns the shared event counters.
 func (r *Resilient) Counters() *Counters { return r.counters }
@@ -386,8 +407,8 @@ func (r *Resilient) Compare(id uint32, threshold float64) Result {
 	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			r.counters.Retries.Add(1)
-			if r.cfg.Backoff > 0 {
-				time.Sleep(r.cfg.Backoff << uint(attempt-1))
+			if d := r.retryDelay(attempt - 1); d > 0 {
+				time.Sleep(d)
 			}
 		}
 		r.counters.Attempts.Add(1)

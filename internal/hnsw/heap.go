@@ -6,8 +6,18 @@ type Neighbor struct {
 	Dist float64
 }
 
-// nheap is a binary heap of Neighbors. max=false gives a min-heap on Dist
-// (the search set of §2.1), max=true a max-heap (the result set).
+// Less is the canonical result ordering: ascending distance, ties broken
+// by ascending id. Using a total order (rather than distance alone) makes
+// every search's output deterministic even with duplicate vectors, which is
+// what lets a sharded scatter-gather merge reproduce the unsharded result
+// byte-for-byte (internal/cluster, MergeTopK).
+func (n Neighbor) Less(o Neighbor) bool {
+	return n.Dist < o.Dist || (n.Dist == o.Dist && n.ID < o.ID)
+}
+
+// nheap is a binary heap of Neighbors. max=false gives a min-heap on
+// (Dist, ID) (the search set of §2.1), max=true a max-heap (the result
+// set).
 type nheap struct {
 	items []Neighbor
 	max   bool
@@ -17,9 +27,9 @@ func (h *nheap) Len() int { return len(h.items) }
 
 func (h *nheap) less(i, j int) bool {
 	if h.max {
-		return h.items[i].Dist > h.items[j].Dist
+		return h.items[j].Less(h.items[i])
 	}
-	return h.items[i].Dist < h.items[j].Dist
+	return h.items[i].Less(h.items[j])
 }
 
 func (h *nheap) Push(n Neighbor) {

@@ -1,0 +1,47 @@
+package hnsw
+
+// MergeTopK merges per-shard top-k result lists into the global top-k,
+// appending into dst[:0]. Every input list must already be sorted by the
+// canonical (Dist, ID) order — which every search entry point in this
+// package produces — and the lists must be id-disjoint (shards partition
+// the id space; hedged duplicates are resolved before merging).
+//
+// The merge is cursor-based rather than heap-based: with S shards it costs
+// O(k·S) comparisons, allocation-free, and S is small (a serving cluster
+// has a handful of shards, not thousands), so the linear scan beats heap
+// bookkeeping while staying trivially deterministic. The output is the
+// exact k smallest elements of the multiset union under (Dist, ID) — the
+// same order an unsharded search emits, which is what makes the healthy
+// scatter-gather path byte-identical to single-node search.
+func MergeTopK(dst []Neighbor, lists [][]Neighbor, k int) []Neighbor {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	// cursors live on the stack for the common small-S case.
+	var curArr [16]int
+	cur := curArr[:0]
+	if len(lists) <= len(curArr) {
+		cur = curArr[:len(lists)]
+	} else {
+		cur = make([]int, len(lists))
+	}
+	for len(dst) < k {
+		best := -1
+		for li, l := range lists {
+			ci := cur[li]
+			if ci >= len(l) {
+				continue
+			}
+			if best == -1 || l[ci].Less(lists[best][cur[best]]) {
+				best = li
+			}
+		}
+		if best == -1 {
+			break // every list exhausted
+		}
+		dst = append(dst, lists[best][cur[best]])
+		cur[best]++
+	}
+	return dst
+}

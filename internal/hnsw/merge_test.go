@@ -1,0 +1,92 @@
+package hnsw
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestMergeTopKBasics(t *testing.T) {
+	a := []Neighbor{{ID: 0, Dist: 1}, {ID: 2, Dist: 3}}
+	b := []Neighbor{{ID: 1, Dist: 2}, {ID: 3, Dist: 4}}
+	got := MergeTopK(nil, [][]Neighbor{a, b}, 3)
+	want := []Neighbor{{ID: 0, Dist: 1}, {ID: 1, Dist: 2}, {ID: 2, Dist: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	if got := MergeTopK(nil, [][]Neighbor{a, b}, 100); len(got) != 4 {
+		t.Fatalf("k beyond population returned %d results, want 4", len(got))
+	}
+	if got := MergeTopK(nil, nil, 5); len(got) != 0 {
+		t.Fatalf("no lists returned %d results, want 0", len(got))
+	}
+	if got := MergeTopK(nil, [][]Neighbor{a}, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %d results", len(got))
+	}
+	// Empty lists among populated ones are skipped.
+	got = MergeTopK(nil, [][]Neighbor{nil, a, {}, b}, 2)
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("merge with empties = %v, want %v", got, want[:2])
+	}
+}
+
+// TestMergeTopKTies pins the tie-breaking rule: equal distances order by
+// ascending id, exactly like the canonical Neighbor.Less ordering, even
+// when the tie straddles the k boundary.
+func TestMergeTopKTies(t *testing.T) {
+	a := []Neighbor{{ID: 5, Dist: 1}, {ID: 9, Dist: 2}}
+	b := []Neighbor{{ID: 3, Dist: 1}, {ID: 7, Dist: 2}}
+	got := MergeTopK(nil, [][]Neighbor{a, b}, 3)
+	want := []Neighbor{{ID: 3, Dist: 1}, {ID: 5, Dist: 1}, {ID: 7, Dist: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie merge = %v, want %v", got, want)
+	}
+}
+
+// TestMergeTopKMatchesSort cross-checks the cursor merge against the
+// obvious flatten-and-sort reference over many random shard layouts,
+// including shard counts past the stack-cursor fast path.
+func TestMergeTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		shards := 1 + rng.Intn(20)
+		var lists [][]Neighbor
+		var all []Neighbor
+		id := uint32(0)
+		for s := 0; s < shards; s++ {
+			n := rng.Intn(6)
+			l := make([]Neighbor, 0, n)
+			for i := 0; i < n; i++ {
+				// Coarse distances force plenty of cross-shard ties.
+				l = append(l, Neighbor{ID: id, Dist: float64(rng.Intn(4))})
+				id++
+			}
+			sort.Slice(l, func(i, j int) bool { return l[i].Less(l[j]) })
+			lists = append(lists, l)
+			all = append(all, l...)
+		}
+		k := rng.Intn(8)
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := MergeTopK(nil, lists, k)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (shards=%d k=%d): merge = %v, want %v", trial, shards, k, got, want)
+		}
+	}
+}
+
+func TestMergeTopKReusesDst(t *testing.T) {
+	a := []Neighbor{{ID: 0, Dist: 1}}
+	dst := make([]Neighbor, 0, 8)
+	got := MergeTopK(dst, [][]Neighbor{a}, 1)
+	if &got[0:cap(got)][0] != &dst[0:cap(dst)][0] {
+		t.Fatalf("merge reallocated dst despite sufficient capacity")
+	}
+}

@@ -20,10 +20,43 @@ import (
 // context.Canceled via errors.Is.
 type SearchFunc func(ctx context.Context, q []float32, k, ef int) ([]hnsw.Neighbor, error)
 
+// Outcome is the degradation-aware result an OutcomeFunc returns: the
+// merged neighbors plus whether any backend shard was missing from the
+// merge (Partial), the human-readable per-shard fault strings, and how
+// many hedge requests the query spent. A plain SearchFunc is the
+// degenerate always-complete case.
+type Outcome struct {
+	Neighbors []hnsw.Neighbor
+	Partial   bool
+	Faults    []string
+	Hedged    int
+}
+
+// OutcomeFunc is the sharded-backend search hook: like SearchFunc, but the
+// result carries degradation metadata so the HTTP layer can surface
+// partial results honestly (X-ANSMET-Partial header, "partial"/"faults"
+// response fields) instead of presenting a degraded answer as a complete
+// one.
+type OutcomeFunc func(ctx context.Context, q []float32, k, ef int) (Outcome, error)
+
+// PartialHeader marks responses assembled from a degraded backend (one or
+// more shards missing from the merge). Clients that require complete
+// answers should retry on it; clients that prefer fast approximate answers
+// can accept the body as-is.
+const PartialHeader = "X-ANSMET-Partial"
+
 // Config wires a Server.
 type Config struct {
-	// Search executes queries; required.
+	// Search executes queries; required unless SearchOutcome is set.
 	Search SearchFunc
+	// SearchOutcome, when set, takes precedence over Search and lets a
+	// sharded backend report partial-result degradation per query.
+	SearchOutcome OutcomeFunc
+	// ExtraVars, when set, contributes additional top-level sections to
+	// /debug/vars (e.g. cluster shard health). Keys must not collide with
+	// the built-in "serve"/"admission"/"goroutines"/"draining" sections;
+	// colliding keys are ignored.
+	ExtraVars func() map[string]any
 	// BadRequest classifies searcher errors that should map to HTTP 400
 	// (input validation) rather than 500. Nil treats every non-context
 	// searcher error as internal.
@@ -93,6 +126,7 @@ type Metrics struct {
 	Panics        atomic.Int64 // handler panics contained to 500
 	Internal      atomic.Int64 // other 500s
 	InFlight      atomic.Int64 // searches running right now
+	Partials      atomic.Int64 // 200s served with a degraded (partial) merge
 }
 
 // SearchRequest is the /v1/search JSON body.
@@ -115,10 +149,14 @@ type SearchResult struct {
 }
 
 // SearchResponse is the /v1/search JSON response. Partial marks results
-// cut short by the deadline (HTTP 504 with a usable prefix).
+// that are not the complete answer — cut short by the deadline (HTTP 504
+// with a usable prefix) or merged from a degraded shard fan-out (HTTP 200
+// with the X-ANSMET-Partial header). Faults lists the per-shard failures
+// behind a degraded merge.
 type SearchResponse struct {
 	Results []SearchResult `json:"results"`
 	Partial bool           `json:"partial,omitempty"`
+	Faults  []string       `json:"faults,omitempty"`
 	Error   string         `json:"error,omitempty"`
 }
 
@@ -133,6 +171,10 @@ type Server struct {
 	metrics  Metrics
 	draining atomic.Bool
 
+	// jitterSeq drives the deterministic Retry-After jitter sequence (a
+	// splitmix64 walk — no locking, no global rand).
+	jitterSeq atomic.Uint64
+
 	// baseCtx is cancelled by HardCancel: every in-flight search's context
 	// is tied to it, so a drain that overruns its deadline can abort the
 	// stragglers through the cooperative-cancellation plumbing.
@@ -142,10 +184,11 @@ type Server struct {
 	start time.Time
 }
 
-// New builds a Server. Config.Search is required.
+// New builds a Server. One of Config.Search or Config.SearchOutcome is
+// required.
 func New(cfg Config) (*Server, error) {
-	if cfg.Search == nil {
-		return nil, errors.New("serve: Config.Search is required")
+	if cfg.Search == nil && cfg.SearchOutcome == nil {
+		return nil, errors.New("serve: Config.Search or Config.SearchOutcome is required")
 	}
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -261,8 +304,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		var oe *OverloadError
 		if errors.As(err, &oe) {
 			s.metrics.Shed.Add(1)
-			secs := int(oe.RetryAfter/time.Second) + 1
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSecs(oe.RetryAfter)))
 			writeJSON(w, http.StatusTooManyRequests, SearchResponse{Error: oe.Reason.Error()})
 			return
 		}
@@ -321,13 +363,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	s.metrics.InFlight.Add(1)
-	res, err := s.cfg.Search(ctx, req.Query, k, ef)
+	var out Outcome
+	if s.cfg.SearchOutcome != nil {
+		out, err = s.cfg.SearchOutcome(ctx, req.Query, k, ef)
+	} else {
+		out.Neighbors, err = s.cfg.Search(ctx, req.Query, k, ef)
+	}
 	s.metrics.InFlight.Add(-1)
 
 	switch {
 	case err == nil:
 		s.metrics.OK.Add(1)
-		writeJSON(w, http.StatusOK, SearchResponse{Results: toResults(res)})
+		if out.Partial {
+			// A degraded merge is still a 200 — the results that ARE there
+			// are correct — but it is flagged loudly so clients that need
+			// complete answers can retry.
+			s.metrics.Partials.Add(1)
+			w.Header().Set(PartialHeader, "true")
+		}
+		writeJSON(w, http.StatusOK, SearchResponse{
+			Results: toResults(out.Neighbors), Partial: out.Partial, Faults: out.Faults})
 	case errors.Is(err, context.DeadlineExceeded):
 		if r.Context().Err() != nil {
 			// The client's own deadline/disconnect raced ours.
@@ -335,8 +390,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.Timeouts.Add(1)
+		if len(out.Neighbors) > 0 {
+			w.Header().Set(PartialHeader, "true")
+		}
 		writeJSON(w, http.StatusGatewayTimeout, SearchResponse{
-			Results: toResults(res), Partial: len(res) > 0,
+			Results: toResults(out.Neighbors), Partial: len(out.Neighbors) > 0, Faults: out.Faults,
 			Error: "search deadline exceeded"})
 	case errors.Is(err, context.Canceled):
 		if s.baseCtx.Err() != nil {
@@ -353,6 +411,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Internal.Add(1)
 		writeJSON(w, http.StatusInternalServerError, SearchResponse{Error: "internal error"})
 	}
+}
+
+// retryAfterSecs converts an admission Retry-After hint into whole seconds
+// with deterministic jitter: base..2×base, so a synchronized burst of shed
+// clients spreads its retries instead of stampeding back in lockstep. The
+// jitter sequence is a splitmix64 walk — per-server deterministic, lock
+// free.
+func (s *Server) retryAfterSecs(hint time.Duration) int {
+	base := int(hint/time.Second) + 1
+	x := s.jitterSeq.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return base + int(x%uint64(base+1))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -373,7 +447,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	m := &s.metrics
 	adm := s.adm.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	vars := map[string]any{
 		"serve": map[string]int64{
 			"requests":       m.Requests.Load(),
 			"ok":             m.OK.Load(),
@@ -385,6 +459,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"panics":         m.Panics.Load(),
 			"internal":       m.Internal.Load(),
 			"in_flight":      m.InFlight.Load(),
+			"partials":       m.Partials.Load(),
 		},
 		"admission": map[string]any{
 			"admitted":      adm.Admitted,
@@ -396,7 +471,15 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		},
 		"goroutines": runtime.NumGoroutine(),
 		"draining":   s.draining.Load(),
-	})
+	}
+	if s.cfg.ExtraVars != nil {
+		for key, v := range s.cfg.ExtraVars() {
+			if _, taken := vars[key]; !taken {
+				vars[key] = v
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, vars)
 }
 
 func toResults(nn []hnsw.Neighbor) []SearchResult {

@@ -289,3 +289,84 @@ func TestMethodRouting(t *testing.T) {
 		t.Fatalf("GET /v1/search = %d, want 405", w.Code)
 	}
 }
+
+func TestSearchOutcomePartialDegradation(t *testing.T) {
+	s := newTestServer(t, Config{
+		SearchOutcome: func(ctx context.Context, q []float32, k, ef int) (Outcome, error) {
+			return Outcome{
+				Neighbors: []hnsw.Neighbor{{ID: 3, Dist: 0.25}},
+				Partial:   true,
+				Faults:    []string{"shard 1: crash: device wedged"},
+			}, nil
+		},
+	})
+	w := postSearch(s, `{"query":[1,2],"k":4}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (degraded merges still serve)", w.Code)
+	}
+	if got := w.Header().Get(PartialHeader); got != "true" {
+		t.Fatalf("%s = %q, want \"true\"", PartialHeader, got)
+	}
+	resp := decodeResp(t, w)
+	if !resp.Partial || len(resp.Faults) != 1 || len(resp.Results) != 1 {
+		t.Fatalf("resp = %+v, want partial with 1 fault + 1 result", resp)
+	}
+	if s.Metrics().Partials.Load() != 1 || s.Metrics().OK.Load() != 1 {
+		t.Fatalf("partials=%d ok=%d, want 1/1", s.Metrics().Partials.Load(), s.Metrics().OK.Load())
+	}
+
+	// A healthy outcome must NOT carry the partial marker.
+	s2 := newTestServer(t, Config{
+		SearchOutcome: func(ctx context.Context, q []float32, k, ef int) (Outcome, error) {
+			return Outcome{Neighbors: []hnsw.Neighbor{{ID: 1, Dist: 0.5}}}, nil
+		},
+	})
+	w2 := postSearch(s2, `{"query":[1,2]}`)
+	if w2.Code != http.StatusOK || w2.Header().Get(PartialHeader) != "" {
+		t.Fatalf("healthy outcome: status=%d partial header=%q", w2.Code, w2.Header().Get(PartialHeader))
+	}
+	if got := decodeResp(t, w2); got.Partial || s2.Metrics().Partials.Load() != 0 {
+		t.Fatalf("healthy outcome flagged partial: %+v", got)
+	}
+}
+
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s := newTestServer(t, Config{})
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		secs := s.retryAfterSecs(1500 * time.Millisecond) // base = 2
+		if secs < 2 || secs > 4 {
+			t.Fatalf("retryAfterSecs = %d, want in [2,4]", secs)
+		}
+		seen[secs] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced a single value %v; retries would stampede in sync", seen)
+	}
+}
+
+func TestVarsExtraSections(t *testing.T) {
+	s := newTestServer(t, Config{
+		ExtraVars: func() map[string]any {
+			return map[string]any{
+				"cluster": map[string]any{"shards": 3},
+				"serve":   "must not clobber the built-in section",
+			}
+		},
+	})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/vars", nil))
+	var v struct {
+		Serve   map[string]int64 `json:"serve"`
+		Cluster map[string]any   `json:"cluster"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("vars JSON: %v", err)
+	}
+	if v.Cluster["shards"] != float64(3) {
+		t.Fatalf("extra cluster section missing: %s", w.Body)
+	}
+	if v.Serve == nil {
+		t.Fatalf("built-in serve section clobbered by ExtraVars: %s", w.Body)
+	}
+}

@@ -121,12 +121,14 @@ func (db *Database) Save(w io.Writer) error {
 // most dangerous moment and assert the destination is untouched.
 var saveFileTestHook func(tmpPath string) error
 
-// SaveFile persists the database to path crash-safely: the snapshot is
-// written to a temporary file in the same directory, fsynced, and only
-// then atomically renamed over path. A crash at any point leaves either
-// the complete old file or the complete new file — never a torn mix — and
-// on error the temporary file is removed.
-func (db *Database) SaveFile(path string) (err error) {
+// writeFileAtomic persists whatever write produces to path crash-safely:
+// the bytes go to a temporary file in the same directory, are fsynced, and
+// only then atomically renamed over path. A crash at any point leaves
+// either the complete old file or the complete new file — never a torn
+// mix — and on error the temporary file is removed. Shared by the
+// Database snapshot, the per-shard cluster snapshots, and the cluster
+// manifest.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ansmet-snap-*")
 	if err != nil {
@@ -139,7 +141,7 @@ func (db *Database) SaveFile(path string) (err error) {
 			os.Remove(tmpPath)
 		}
 	}()
-	if err = db.Save(tmp); err != nil {
+	if err = write(tmp); err != nil {
 		return err
 	}
 	if err = tmp.Sync(); err != nil {
@@ -163,6 +165,11 @@ func (db *Database) SaveFile(path string) (err error) {
 		d.Close()
 	}
 	return nil
+}
+
+// SaveFile persists the database to path crash-safely via writeFileAtomic.
+func (db *Database) SaveFile(path string) error {
+	return writeFileAtomic(path, db.Save)
 }
 
 // LoadFile reconstructs a database previously written with SaveFile (or
@@ -240,17 +247,23 @@ func validateSnapshot(snap *dbSnapshot) error {
 // complete snapshot image and returns the gob payload (the bytes between
 // header and footer). Every failure is one of the typed corruption errors.
 func verifySnapshotBytes(data []byte) ([]byte, error) {
-	if len(data) < len(snapshotHeader) {
-		if bytes.HasPrefix(snapshotHeader, data) {
+	return verifyIntegrity(data, snapshotHeader)
+}
+
+// verifyIntegrity is verifySnapshotBytes generalized over the raw header,
+// shared with the cluster manifest format.
+func verifyIntegrity(data, header []byte) ([]byte, error) {
+	if len(data) < len(header) {
+		if bytes.HasPrefix(header, data) {
 			// A prefix of a valid header: torn at the very start.
 			return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrSnapshotTruncated, len(data))
 		}
 		return nil, fmt.Errorf("%w (short header)", ErrSnapshotBadMagic)
 	}
-	if !bytes.Equal(data[:len(snapshotHeader)], snapshotHeader) {
+	if !bytes.Equal(data[:len(header)], header) {
 		return nil, fmt.Errorf("%w (bad header)", ErrSnapshotBadMagic)
 	}
-	if len(data) < len(snapshotHeader)+snapshotFooterLen {
+	if len(data) < len(header)+snapshotFooterLen {
 		return nil, fmt.Errorf("%w: no integrity footer (torn write?)", ErrSnapshotTruncated)
 	}
 	footer := data[len(data)-snapshotFooterLen:]
@@ -267,7 +280,7 @@ func verifySnapshotBytes(data []byte) ([]byte, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
 		return nil, fmt.Errorf("%w: crc32c %08x, footer says %08x", ErrSnapshotChecksum, got, wantCRC)
 	}
-	return payload[len(snapshotHeader):], nil
+	return payload[len(header):], nil
 }
 
 // Load reconstructs a database previously written with Save, re-running the
@@ -322,4 +335,165 @@ func Load(r io.Reader, design *Design) (db *Database, err error) {
 		Design: UseDesign(d), Seed: snap.Seed,
 	}
 	return &Database{opts: opts, vectors: snap.Vectors, sys: sys}, nil
+}
+
+// ---- Cluster persistence -------------------------------------------------
+//
+// A Cluster persists as a directory: one v3 Database snapshot per shard
+// plus a manifest carrying the partition map. Every file is written with
+// writeFileAtomic, and the manifest is written LAST — it is the commit
+// point, so a crash mid-SaveDir leaves either the previous complete
+// cluster or no loadable manifest, never a half-written mix that loads.
+
+// clusterManifestMagic versions the manifest format.
+const clusterManifestMagic = "ansmet-cluster-v1"
+
+// clusterManifestHeader is the manifest's raw byte prefix (same role as
+// snapshotHeader: reject non-manifest files before gob sees a byte).
+var clusterManifestHeader = []byte("ANSMETCL1\n")
+
+// ClusterManifestName is the manifest's file name inside a cluster
+// directory.
+const ClusterManifestName = "cluster.manifest"
+
+// ShardSnapshotName returns shard s's snapshot file name inside a cluster
+// directory.
+func ShardSnapshotName(s int) string { return fmt.Sprintf("shard-%03d.snap", s) }
+
+// clusterManifest is the gob-encoded partition map of a saved cluster.
+type clusterManifest struct {
+	Magic     string
+	Partition int
+	Total     int
+	IDs       [][]uint32 // per shard: local row -> global id
+}
+
+// SaveDir persists the cluster to a directory: each shard's v3 snapshot,
+// then the manifest as the atomic commit point.
+func (c *Cluster) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ansmet: creating cluster dir: %w", err)
+	}
+	for s, db := range c.shards {
+		if err := db.SaveFile(filepath.Join(dir, ShardSnapshotName(s))); err != nil {
+			return fmt.Errorf("ansmet: saving shard %d: %w", s, err)
+		}
+	}
+	man := clusterManifest{
+		Magic:     clusterManifestMagic,
+		Partition: int(c.opts.Partition),
+		Total:     c.total,
+		IDs:       c.ids,
+	}
+	return writeFileAtomic(filepath.Join(dir, ClusterManifestName), func(w io.Writer) error {
+		cw := &crcWriter{w: w, crc: crc32.New(castagnoli)}
+		if _, err := cw.Write(clusterManifestHeader); err != nil {
+			return fmt.Errorf("ansmet: writing manifest header: %w", err)
+		}
+		if err := gob.NewEncoder(cw).Encode(&man); err != nil {
+			return fmt.Errorf("ansmet: encoding manifest: %w", err)
+		}
+		footer := make([]byte, snapshotFooterLen)
+		copy(footer, snapshotFooterMagic)
+		binary.LittleEndian.PutUint64(footer[10:], cw.n)
+		binary.LittleEndian.PutUint32(footer[18:], cw.crc.Sum32())
+		if _, err := w.Write(footer); err != nil {
+			return fmt.Errorf("ansmet: writing manifest footer: %w", err)
+		}
+		return nil
+	})
+}
+
+// decodeClusterManifest gob-decodes with the same recover guard as
+// decodeSnapshot: hostile bytes must error, never panic.
+func decodeClusterManifest(payload []byte) (man clusterManifest, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("ansmet: malformed cluster manifest: %v", p)
+		}
+	}()
+	err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&man)
+	return man, err
+}
+
+// validateClusterManifest bounds-checks the partition map: every global id
+// appears exactly once across shards and every shard is non-empty.
+func validateClusterManifest(man *clusterManifest) error {
+	if man.Magic != clusterManifestMagic {
+		return fmt.Errorf("%w: unsupported manifest version %q (want %q)",
+			ErrSnapshotBadMagic, man.Magic, clusterManifestMagic)
+	}
+	if man.Partition < 0 || man.Partition >= len(partitionNames) {
+		return fmt.Errorf("ansmet: manifest has invalid partition scheme %d", man.Partition)
+	}
+	if len(man.IDs) == 0 {
+		return fmt.Errorf("ansmet: manifest has no shards")
+	}
+	if man.Total <= 0 {
+		return fmt.Errorf("ansmet: manifest records %d vectors", man.Total)
+	}
+	seen := make([]bool, man.Total)
+	count := 0
+	for s, ids := range man.IDs {
+		if len(ids) == 0 {
+			return fmt.Errorf("ansmet: manifest shard %d is empty", s)
+		}
+		for _, id := range ids {
+			if int(id) >= man.Total {
+				return fmt.Errorf("ansmet: manifest shard %d has id %d out of range (total %d)", s, id, man.Total)
+			}
+			if seen[id] {
+				return fmt.Errorf("ansmet: manifest assigns id %d to multiple shards", id)
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	if count != man.Total {
+		return fmt.Errorf("ansmet: manifest covers %d of %d ids", count, man.Total)
+	}
+	return nil
+}
+
+// LoadClusterDir restores a cluster saved with SaveDir. The manifest
+// determines the shard layout and partition scheme; opts supplies the
+// fan-out behaviour (timeouts, hedging, breakers) exactly as in
+// NewCluster, with its Shards and Partition fields overridden by the
+// manifest. The same corruption hardening as Load applies: CRC before gob,
+// typed errors, bounds checks, no panics.
+func LoadClusterDir(dir string, opts ClusterOptions) (*Cluster, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ClusterManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("ansmet: reading cluster manifest: %w", err)
+	}
+	payload, err := verifyIntegrity(data, clusterManifestHeader)
+	if err != nil {
+		return nil, fmt.Errorf("ansmet: cluster manifest: %w", err)
+	}
+	man, err := decodeClusterManifest(payload)
+	if err != nil {
+		return nil, fmt.Errorf("ansmet: decoding cluster manifest: %w", err)
+	}
+	if err := validateClusterManifest(&man); err != nil {
+		return nil, err
+	}
+	dbs := make([]*Database, len(man.IDs))
+	for s := range man.IDs {
+		db, err := LoadFile(filepath.Join(dir, ShardSnapshotName(s)), opts.Build.Design)
+		if err != nil {
+			return nil, fmt.Errorf("ansmet: loading shard %d: %w", s, err)
+		}
+		if db.Len() != len(man.IDs[s]) {
+			return nil, fmt.Errorf("ansmet: shard %d snapshot holds %d vectors, manifest says %d",
+				s, db.Len(), len(man.IDs[s]))
+		}
+		if s > 0 && db.sys.Dim != dbs[0].sys.Dim {
+			return nil, fmt.Errorf("ansmet: shard %d dimension %d disagrees with shard 0 (%d)",
+				s, db.sys.Dim, dbs[0].sys.Dim)
+		}
+		dbs[s] = db
+	}
+	opts.Shards = len(man.IDs)
+	opts.Partition = PartitionScheme(man.Partition)
+	return assembleCluster(dbs, man.IDs, man.Total, opts)
 }
