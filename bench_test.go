@@ -282,6 +282,60 @@ func BenchmarkDistanceKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelImpls measures every kernel implementation in the vecmath
+// dispatch table side by side (scalar vs AVX2 vs AVX-512 where the CPU has
+// them) on the two-vector kernels and the fused bounder block kernel, at a
+// production dimension. The sub-benchmark names make per-implementation
+// speedups readable from one run; allocs/op is budget-gated at 0.
+func BenchmarkKernelImpls(b *testing.B) {
+	const dim = 384
+	rng := stats.NewRNG(77)
+	x := make([]float32, dim)
+	y := make([]float32, dim)
+	contrib := make([]float64, dim)
+	blockSums := make([]float64, (dim+vecmath.BlockDims-1)/vecmath.BlockDims)
+	for d := 0; d < dim; d++ {
+		x[d] = float32(rng.Float64())
+		y[d] = float32(rng.Float64())
+		contrib[d] = rng.Float64()
+	}
+	for _, im := range vecmath.Implementations() {
+		b.Run("SquaredL2/"+im.Name, func(b *testing.B) {
+			b.SetBytes(int64(8 * dim))
+			b.ReportAllocs()
+			s := 0.0
+			for i := 0; i < b.N; i++ {
+				s += im.SquaredL2(x, y)
+			}
+			if math.IsNaN(s) {
+				b.Fatal("impossible")
+			}
+		})
+		b.Run("Dot/"+im.Name, func(b *testing.B) {
+			b.SetBytes(int64(8 * dim))
+			b.ReportAllocs()
+			s := 0.0
+			for i := 0; i < b.N; i++ {
+				s += im.Dot(x, y)
+			}
+			if math.IsNaN(s) {
+				b.Fatal("impossible")
+			}
+		})
+		b.Run("BlockSumsTotal/"+im.Name, func(b *testing.B) {
+			b.SetBytes(int64(8 * dim))
+			b.ReportAllocs()
+			s := 0.0
+			for i := 0; i < b.N; i++ {
+				s += im.BlockSumsTotal(contrib, blockSums, 0, len(blockSums)-1)
+			}
+			if math.IsNaN(s) {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
 // BenchmarkSearchAllocs measures one steady-state query on the default
 // database through the allocation-free SearchInto path, reporting
 // allocations per operation (the gated budget: 0 allocs/op).

@@ -1,15 +1,26 @@
 // Command ansmet-benchgate parses `go test -bench` output, records the
-// numbers as JSON, and enforces per-benchmark allocation budgets — the CI
-// gate that keeps the hot path allocation-free.
+// numbers as JSON, and enforces per-benchmark budgets — the CI gate that
+// keeps the hot path allocation-free and catches gross time regressions.
 //
 // Usage:
 //
 //	go test -bench 'SearchAllocs' -benchmem | ansmet-benchgate \
-//	    -out BENCH.json -max-allocs 'BenchmarkSearchAllocs=0'
+//	    -out BENCH.json -max-allocs 'BenchmarkSearchAllocs=0' \
+//	    -baseline BENCH_pr7.json -max-ns-ratio 'BenchmarkSearchAllocs=3.0'
+//
+// -max-allocs budgets are absolute and tight (allocs/op is deterministic).
+// -max-ns-ratio budgets compare ns/op against a committed baseline file and
+// are deliberately loose: CI hardware differs from the machine that wrote
+// the baseline, so the ratio only catches order-of-magnitude regressions
+// (an accidentally de-vectorised kernel, a new allocation storm), not
+// percent-level drift. The baseline may be a benchgate -out report or a
+// BENCH_prN.json record (its "after" section is used). Names match exactly
+// first, then with the -GOMAXPROCS suffix stripped from both sides, so a
+// baseline written on an N-core machine gates a run on an M-core one.
 //
 // The exit status is non-zero if any budget is exceeded or a budgeted
-// benchmark is missing from the input (a silently skipped gate is a failed
-// gate).
+// benchmark is missing from the input or baseline (a silently skipped gate
+// is a failed gate).
 package main
 
 import (
@@ -61,9 +72,12 @@ func (b budgetList) Set(s string) error {
 
 func main() {
 	budgets := budgetList{}
+	nsRatios := budgetList{}
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	in := flag.String("in", "", "read benchmark output from this file instead of stdin")
+	baseline := flag.String("baseline", "", "baseline JSON (benchgate report or BENCH_prN record) for -max-ns-ratio")
 	flag.Var(budgets, "max-allocs", "fail if benchmark Name exceeds N allocs/op (repeatable, Name=N; matches by prefix so sub-benchmarks are covered)")
+	flag.Var(nsRatios, "max-ns-ratio", "fail if benchmark Name ns/op exceeds R times the -baseline value (repeatable, Name=R; matches by prefix)")
 	flag.Parse()
 
 	src := os.Stdin
@@ -118,9 +132,125 @@ func main() {
 			fail = true
 		}
 	}
+	if len(nsRatios) > 0 {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-max-ns-ratio requires -baseline"))
+		}
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		for name, ratio := range nsRatios {
+			matched := false
+			for _, b := range rep.Benchmarks {
+				if !strings.HasPrefix(b.Name, name) || b.NsPerOp == 0 {
+					continue
+				}
+				matched = true
+				want, ok := baselineNs(base, b.Name)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "benchgate: %s has no entry in baseline %s\n", b.Name, *baseline)
+					fail = true
+					continue
+				}
+				if got := b.NsPerOp / want; got > ratio {
+					fmt.Fprintf(os.Stderr, "benchgate: %s: %.0f ns/op is %.2fx baseline %.0f, budget %.2fx\n",
+						b.Name, b.NsPerOp, got, want, ratio)
+					fail = true
+				} else {
+					fmt.Printf("benchgate: %s: %.0f ns/op is %.2fx baseline %.0f, within %.2fx\n",
+						b.Name, b.NsPerOp, got, want, ratio)
+				}
+			}
+			if !matched {
+				fmt.Fprintf(os.Stderr, "benchgate: ratio-budgeted benchmark %q not found in input\n", name)
+				fail = true
+			}
+		}
+	}
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads ns/op baselines from either a benchgate report
+// ({"benchmarks": [...]}) or a BENCH_prN.json perf record (the "after"
+// section, which reflects the committed state of the tree).
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks []Benchmark `json:"benchmarks"`
+		After      map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		if b.NsPerOp != 0 {
+			base[b.Name] = b.NsPerOp
+		}
+	}
+	for name, b := range doc.After {
+		if b.NsPerOp != 0 {
+			base[name] = b.NsPerOp
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("baseline %s: no ns/op entries found", path)
+	}
+	return base, nil
+}
+
+// baselineNs looks a benchmark up in the baseline: exact name first, then
+// with the -GOMAXPROCS suffix stripped from both sides, so baselines and
+// runs from machines with different core counts (or GOMAXPROCS=1, which
+// emits no suffix at all) still pair up. A sub-benchmark name that itself
+// ends in -N (e.g. /cosine-384) is indistinguishable from a proc suffix, so
+// the stripped fallback is only accepted when it is unambiguous: if several
+// baseline entries collapse to the same stripped name, the lookup fails and
+// the gate reports the benchmark as missing — keep baselines exact for such
+// names.
+func baselineNs(base map[string]float64, name string) (float64, bool) {
+	if ns, ok := base[name]; ok {
+		return ns, true
+	}
+	stripped := stripProcSuffix(name)
+	if ns, ok := base[stripped]; ok {
+		return ns, true
+	}
+	var found float64
+	matches := 0
+	for bn, ns := range base {
+		if stripProcSuffix(bn) == stripped {
+			found = ns
+			matches++
+		}
+	}
+	if matches == 1 {
+		return found, true
+	}
+	return 0, false
+}
+
+// stripProcSuffix removes a trailing -N (N all digits) benchmark name
+// suffix, the GOMAXPROCS marker `go test` appends when GOMAXPROCS > 1.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 func fatal(err error) {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSearchAllocs-8":             "BenchmarkSearchAllocs",
+		"BenchmarkSearchAllocs":               "BenchmarkSearchAllocs",
+		"BenchmarkKernelImpls/SquaredL2/avx2": "BenchmarkKernelImpls/SquaredL2/avx2",
+		"BenchmarkKernelImpls/Dot/avx512-16":  "BenchmarkKernelImpls/Dot/avx512",
+		"BenchmarkDistanceKernels/uint8-128":  "BenchmarkDistanceKernels/uint8", // ambiguous by design: exact match is tried first
+		"BenchmarkFoo-":                       "BenchmarkFoo-",
+		"BenchmarkFoo-8x":                     "BenchmarkFoo-8x",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBaselineNs(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSearchAllocs-4":             100,
+		"BenchmarkSimReplay":                  200,
+		"BenchmarkKernelImpls/SquaredL2/avx2": 50,
+		"BenchmarkKernels/cosine-128":         10,
+		"BenchmarkKernels/cosine-384":         30,
+	}
+	cases := []struct {
+		name string
+		want float64
+		ok   bool
+	}{
+		{"BenchmarkSearchAllocs-4", 100, true},  // exact
+		{"BenchmarkSearchAllocs", 100, true},    // run without suffix, baseline with
+		{"BenchmarkSearchAllocs-16", 100, true}, // different core count
+		{"BenchmarkSimReplay-8", 200, true},     // baseline without suffix, run with
+		{"BenchmarkKernelImpls/SquaredL2/avx2-2", 50, true},
+		{"BenchmarkUnknown", 0, false},
+		// Dim-style sub-benchmark suffixes look like proc suffixes; exact
+		// matches pair correctly, but a name missing from the baseline must
+		// NOT silently pair with a sibling when several entries collapse to
+		// the same stripped name.
+		{"BenchmarkKernels/cosine-128", 10, true},
+		{"BenchmarkKernels/cosine-960", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := baselineNs(base, c.name)
+		if ok != c.ok || got != c.want {
+			t.Errorf("baselineNs(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestLoadBaselineShapes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// benchgate -out report shape.
+	rep := write("report.json", `{
+		"goos": "linux",
+		"benchmarks": [
+			{"name": "BenchmarkSearchAllocs-4", "iterations": 100, "ns_per_op": 123.5, "allocs_per_op": 0},
+			{"name": "BenchmarkNoTime", "iterations": 1, "allocs_per_op": 0}
+		]
+	}`)
+	base, err := loadBaseline(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns, ok := base["BenchmarkSearchAllocs-4"]; !ok || ns != 123.5 {
+		t.Errorf("report baseline = %v, want BenchmarkSearchAllocs-4: 123.5", base)
+	}
+	if _, ok := base["BenchmarkNoTime"]; ok {
+		t.Errorf("entry without ns/op should be skipped, got %v", base)
+	}
+
+	// BENCH_prN.json perf-record shape: only "after" feeds the baseline.
+	rec := write("record.json", `{
+		"description": "perf record",
+		"before": {"BenchmarkSimReplay": {"ns_per_op": 999}},
+		"after": {"BenchmarkSimReplay": {"ns_per_op": 450.25}},
+		"speedups": {"BenchmarkSimReplay": 2.2}
+	}`)
+	base, err = loadBaseline(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns, ok := base["BenchmarkSimReplay"]; !ok || ns != 450.25 {
+		t.Errorf("record baseline = %v, want BenchmarkSimReplay: 450.25 (from after, not before)", base)
+	}
+
+	if _, err := loadBaseline(write("empty.json", `{"notes": []}`)); err == nil ||
+		!strings.Contains(err.Error(), "no ns/op entries") {
+		t.Errorf("empty baseline: err = %v, want no-entries error", err)
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file: want error")
+	}
+}

@@ -169,21 +169,9 @@ func (b *Bounder) reset() {
 }
 
 // resumBlocks recomputes every block subtotal of contrib into dst and
-// returns their left-to-right total.
+// returns their left-to-right total, via the dispatched fused kernel.
 func (b *Bounder) resumBlocks(contrib, dst []float64) float64 {
-	total := 0.0
-	dim := b.layout.Dim
-	for k := range dst {
-		lo := k * sumBlock
-		hi := lo + sumBlock
-		if hi > dim {
-			hi = dim
-		}
-		s := vecmath.BlockSum(contrib[lo:hi])
-		dst[k] = s
-		total += s
-	}
-	return total
+	return vecmath.BlockSumsTotal(contrib, dst, 0, len(dst)-1)
 }
 
 func (b *Bounder) dimContrib(q, lo, hi float64) float64 {
@@ -264,23 +252,12 @@ func (b *Bounder) ConsumeNext(line []byte) float64 {
 
 	// Blocked bound update: refresh only the touched block subtotals, then
 	// re-total the blocks (fresh at both levels; see the field comment on
-	// sum for why no incremental delta is ever applied).
-	dim := b.layout.Dim
+	// sum for why no incremental delta is ever applied). The fused
+	// vecmath.BlockSumsTotal kernel does both steps in one dispatched call,
+	// in the canonical reduction order.
 	firstBlk := sp.firstDim / sumBlock
 	lastBlk := (sp.lastDim - 1) / sumBlock
-	for k := firstBlk; k <= lastBlk; k++ {
-		lo := k * sumBlock
-		hi := lo + sumBlock
-		if hi > dim {
-			hi = dim
-		}
-		b.blockSum[k] = vecmath.BlockSum(b.contrib[lo:hi])
-	}
-	total := 0.0
-	for _, s := range b.blockSum {
-		total += s
-	}
-	b.sum = total
+	b.sum = vecmath.BlockSumsTotal(b.contrib, b.blockSum, firstBlk, lastBlk)
 	b.nextLine++
 	return b.LB()
 }

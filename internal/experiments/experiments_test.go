@@ -267,8 +267,12 @@ func TestTable4Overhead(t *testing.T) {
 	for _, row := range tab.Rows {
 		// The paper's <1% holds at billion scale where graph construction
 		// dominates; at this reproduction's scale both are sub-second, so
-		// only sanity-check the ratio.
-		if parsePct(t, row[3]) > 3.0 {
+		// only sanity-check the ratio. The bound leaves wide headroom: graph
+		// construction is distance-kernel-bound and runs ~4-5x faster under
+		// SIMD dispatch, while the sampling-based layout preprocessing is
+		// not, so the ratio legitimately reaches ~3.5x on 960-dim GIST (and
+		// wall-clock noise on a loaded 1-vCPU runner stretches it further).
+		if parsePct(t, row[3]) > 10.0 {
 			t.Errorf("%s: preprocessing overhead %s out of control", row[0], row[3])
 		}
 	}

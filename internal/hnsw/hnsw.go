@@ -86,7 +86,9 @@ func Build(vectors [][]float32, metric vecmath.Metric, cfg Config) (*Index, erro
 // dist is the construction-time comparison-space distance. Construction
 // only ever compares these values against each other, so the sqrt-free
 // squared kernel (a strictly monotone transform of the true distance) gives
-// the same orderings cheaper.
+// the same orderings cheaper. The kernel is runtime-dispatched in vecmath
+// (SIMD where available, bitwise-identical to scalar), so graphs built on
+// any CPU are identical.
 func (ix *Index) dist(a uint32, q []float32) float64 {
 	return ix.metric.SquaredDistance(q, ix.vectors[a])
 }

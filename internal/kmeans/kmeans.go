@@ -115,8 +115,9 @@ func Run(vectors [][]float32, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// sqDist routes through the unrolled blocked kernel; squared space is all
-// Lloyd iterations ever compare in.
+// sqDist routes through the dispatched blocked kernel (SIMD where the CPU
+// supports it, scalar otherwise — bitwise-identical either way); squared
+// space is all Lloyd iterations ever compare in.
 func sqDist(a, b []float32) float64 {
 	return vecmath.SquaredL2(a, b)
 }

@@ -336,16 +336,7 @@ func (b *OutlierBounder) ResetQuery(query []float32) {
 	for d := range b.initC {
 		b.initC[d] = b.dimContrib(float64(query[d]), lo, hi)
 	}
-	b.initSum = 0
-	for k := range b.initBlk {
-		first := k * vecmath.BlockDims
-		last := first + vecmath.BlockDims
-		if last > b.cfg.Dim {
-			last = b.cfg.Dim
-		}
-		b.initBlk[k] = vecmath.BlockSum(b.initC[first:last])
-		b.initSum += b.initBlk[k]
-	}
+	b.initSum = vecmath.BlockSumsTotal(b.initC, b.initBlk, 0, len(b.initBlk)-1)
 	b.Reset()
 }
 
@@ -386,20 +377,10 @@ func (b *OutlierBounder) ConsumeNext(line []byte) float64 {
 		b.contrib[d] = b.dimContrib(float64(b.query[d]), lo, hi)
 	}
 	// Blocked bound update: refresh touched block subtotals, re-total the
-	// blocks (fresh at both levels, as in bitplane.Bounder).
-	for k := first / vecmath.BlockDims; k <= (last-1)/vecmath.BlockDims; k++ {
-		lo := k * vecmath.BlockDims
-		hi := lo + vecmath.BlockDims
-		if hi > b.cfg.Dim {
-			hi = b.cfg.Dim
-		}
-		b.blockSum[k] = vecmath.BlockSum(b.contrib[lo:hi])
-	}
-	sum := 0.0
-	for _, s := range b.blockSum {
-		sum += s
-	}
-	b.sum = sum
+	// blocks (fresh at both levels, as in bitplane.Bounder), via the fused
+	// dispatched kernel in the canonical reduction order.
+	b.sum = vecmath.BlockSumsTotal(b.contrib, b.blockSum,
+		first/vecmath.BlockDims, (last-1)/vecmath.BlockDims)
 	b.next++
 	return b.LB()
 }

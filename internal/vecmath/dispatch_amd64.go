@@ -1,0 +1,189 @@
+//go:build amd64 && !purego
+
+package vecmath
+
+// amd64 dispatch: CPU features are probed once at package init with CPUID /
+// XGETBV (cpu_amd64.s — no external dependency), and the package-level
+// kernels branch on the resulting level. A branch on a package variable
+// keeps the call sites direct (//go:noescape assembly stubs, so escape
+// analysis still sees allocation-free calls) while remaining a function
+// table for introspection via Implementations().
+//
+// Level selection:
+//
+//	avx2    — AVX2 and OS-enabled YMM state (XCR0); the default whenever
+//	          available, including on AVX-512 hardware (see below)
+//	avx512  — AVX-512 F+DQ+VL and OS-enabled opmask/ZMM state (XCR0);
+//	          opt-in via ANSMET_SIMD=avx512
+//	scalar  — everything else, or ANSMET_NO_SIMD set
+//
+// AVX-512 is detected and kept in the table but is NOT the automatic
+// choice. The canonical reduction fixes the association at 4 float64 lanes
+// per 16-dim block, so the 512-bit kernels can only pack two independent
+// blocks per ZMM (SquaredL2/Dot) and must split them back out with
+// VEXTRACTF64X4 before the mandated left-to-right block adds; measured on
+// an AVX-512 Xeon this loses to plain AVX2 at every dimension tried
+// (64..1536 — see BENCH_pr7.json notes), before even considering 512-bit
+// frequency licensing on server parts. The block-sum kernels are
+// inherently 4-lane×256-bit, so the avx512 level reuses the AVX2 versions
+// of those.
+
+// cpuid executes CPUID with EAX=leaf, ECX=sub (cpu_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv executes XGETBV with ECX=0, returning XCR0 (cpu_amd64.s). Only
+// valid when CPUID.1:ECX reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+type cpuFeatures struct {
+	hasAVX2   bool
+	hasAVX512 bool
+}
+
+func detectFeatures() cpuFeatures {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return cpuFeatures{}
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return cpuFeatures{}
+	}
+	xcr0, _ := xgetbv()
+	const ymmState = 0x6 // XCR0: SSE (bit 1) + AVX YMM (bit 2)
+	if xcr0&ymmState != ymmState {
+		return cpuFeatures{}
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const (
+		avx2Bit     = 1 << 5
+		avx512fBit  = 1 << 16
+		avx512dqBit = 1 << 17
+		avx512vlBit = 1 << 31
+	)
+	var f cpuFeatures
+	f.hasAVX2 = ebx7&avx2Bit != 0
+	const zmmState = 0xe6 // + opmask (5), ZMM hi256 (6), hi16 ZMM (7)
+	if xcr0&zmmState == zmmState &&
+		ebx7&avx512fBit != 0 && ebx7&avx512dqBit != 0 && ebx7&avx512vlBit != 0 {
+		f.hasAVX512 = true
+	}
+	return f
+}
+
+const (
+	levelScalar = iota
+	levelAVX2
+	levelAVX512
+)
+
+var (
+	features    = detectFeatures()
+	kernelLevel = chooseLevel(features, simdDisabledByEnv(), simdPreference())
+)
+
+// chooseLevel maps detected features and the env overrides to a dispatch
+// level. Pure function so tests can pin the selection logic directly.
+// ANSMET_NO_SIMD always wins; an ANSMET_SIMD preference is honoured only
+// when the named implementation is runnable here (unknown or unavailable
+// names fall through to the automatic choice, which prefers AVX2 — see the
+// package comment for why AVX-512 is opt-in).
+func chooseLevel(f cpuFeatures, noSIMD bool, pref string) int {
+	if noSIMD {
+		return levelScalar
+	}
+	switch pref {
+	case "scalar":
+		return levelScalar
+	case "avx512":
+		if f.hasAVX512 {
+			return levelAVX512
+		}
+	case "avx2":
+		if f.hasAVX2 {
+			return levelAVX2
+		}
+	}
+	switch {
+	case f.hasAVX2:
+		return levelAVX2
+	case f.hasAVX512:
+		return levelAVX512
+	}
+	return levelScalar
+}
+
+var avx2Impl = Impl{
+	Name:           "avx2",
+	squaredL2:      squaredL2AVX2,
+	dot:            dotAVX2,
+	blockSum:       blockSumAVX2,
+	blockSumsTotal: blockSumsTotalAVX2,
+}
+
+var avx512Impl = Impl{
+	Name:           "avx512",
+	squaredL2:      squaredL2AVX512,
+	dot:            dotAVX512,
+	blockSum:       blockSumAVX2,
+	blockSumsTotal: blockSumsTotalAVX2,
+}
+
+func archImpls() []Impl {
+	var impls []Impl
+	if features.hasAVX2 {
+		impls = append(impls, avx2Impl)
+	}
+	if features.hasAVX512 {
+		impls = append(impls, avx512Impl)
+	}
+	return impls
+}
+
+func activeImpl() Impl {
+	switch kernelLevel {
+	case levelAVX512:
+		return avx512Impl
+	case levelAVX2:
+		return avx2Impl
+	}
+	return scalarImpl
+}
+
+func squaredL2Dispatch(a, b []float32) float64 {
+	switch kernelLevel {
+	case levelAVX512:
+		return squaredL2AVX512(a, b)
+	case levelAVX2:
+		return squaredL2AVX2(a, b)
+	}
+	return scalarSquaredL2(a, b)
+}
+
+func dotDispatch(a, b []float32) float64 {
+	switch kernelLevel {
+	case levelAVX512:
+		return dotAVX512(a, b)
+	case levelAVX2:
+		return dotAVX2(a, b)
+	}
+	return scalarDot(a, b)
+}
+
+func blockSumDispatch(terms []float64) float64 {
+	if kernelLevel != levelScalar {
+		return blockSumAVX2(terms)
+	}
+	return scalarBlockSum(terms)
+}
+
+func blockSumsTotalDispatch(contrib, blockSums []float64, firstBlk, lastBlk int) float64 {
+	if kernelLevel != levelScalar {
+		return blockSumsTotalAVX2(contrib, blockSums, firstBlk, lastBlk)
+	}
+	return scalarBlockSumsTotal(contrib, blockSums, firstBlk, lastBlk)
+}

@@ -89,11 +89,16 @@ func refDot(a, b []float32) float64 {
 }
 
 // FuzzKernelsMatchReference fuzzes the bitwise contract between the
-// unrolled distance kernels and the scalar reference reduction, for every
-// element type (the values a kernel can ever see are quantized ones). Any
-// drift here would break DESIGN.md invariant 3: the bounder's blocked
-// partial sums are only bitwise-equal to the exact distance because both
-// sides reduce in this one canonical order.
+// distance kernels and the scalar reference reduction, for every element
+// type (the values a kernel can ever see are quantized ones) and for EVERY
+// implementation in the dispatch table — scalar, AVX2 and AVX-512 where the
+// CPU has them — plus the package-level dispatched entry points (which CI
+// additionally runs with ANSMET_NO_SIMD=1 to cover the forced-scalar
+// table). Any drift here would break DESIGN.md invariant 3: the bounder's
+// blocked partial sums are only bitwise-equal to the exact distance because
+// both sides reduce in this one canonical order. An FMA-induced rounding
+// difference in a SIMD kernel is a bug this fuzz target must catch, never a
+// tolerance to encode.
 func FuzzKernelsMatchReference(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
 	f.Add(make([]byte, 200), []byte{0xff, 0x80, 0x01, 0x7f, 0x00, 0xc0})
@@ -132,13 +137,49 @@ func FuzzKernelsMatchReference(f *testing.F) {
 			if !ok {
 				continue
 			}
-			if got, want := SquaredL2(a, b), refSquaredL2(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			wantL2, wantDot := refSquaredL2(a, b), refDot(a, b)
+			if got := SquaredL2(a, b); math.Float64bits(got) != math.Float64bits(wantL2) {
 				t.Fatalf("%v dim %d: SquaredL2 = %v (%#x), reference %v (%#x)",
-					et, n, got, math.Float64bits(got), want, math.Float64bits(want))
+					et, n, got, math.Float64bits(got), wantL2, math.Float64bits(wantL2))
 			}
-			if got, want := Dot(a, b), refDot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			if got := Dot(a, b); math.Float64bits(got) != math.Float64bits(wantDot) {
 				t.Fatalf("%v dim %d: Dot = %v (%#x), reference %v (%#x)",
-					et, n, got, math.Float64bits(got), want, math.Float64bits(want))
+					et, n, got, math.Float64bits(got), wantDot, math.Float64bits(wantDot))
+			}
+			for _, im := range Implementations() {
+				if got := im.SquaredL2(a, b); math.Float64bits(got) != math.Float64bits(wantL2) {
+					t.Fatalf("%s %v dim %d: SquaredL2 = %v (%#x), reference %v (%#x)",
+						im.Name, et, n, got, math.Float64bits(got), wantL2, math.Float64bits(wantL2))
+				}
+				if got := im.Dot(a, b); math.Float64bits(got) != math.Float64bits(wantDot) {
+					t.Fatalf("%s %v dim %d: Dot = %v (%#x), reference %v (%#x)",
+						im.Name, et, n, got, math.Float64bits(got), wantDot, math.Float64bits(wantDot))
+				}
+				// The block kernels agree on the same data reinterpreted as
+				// float64 contributions (the bounder-side consumers).
+				terms := make([]float64, n)
+				for i := range terms {
+					terms[i] = float64(a[i]) * float64(b[i])
+				}
+				if got, want := im.BlockSum(terms), scalarBlockSum(terms); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s dim %d: BlockSum = %v (%#x), reference %v (%#x)",
+						im.Name, n, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+				nblk := (n + BlockDims - 1) / BlockDims
+				gotDst := make([]float64, nblk)
+				wantDst := make([]float64, nblk)
+				got := im.BlockSumsTotal(terms, gotDst, 0, nblk-1)
+				want := scalarBlockSumsTotal(terms, wantDst, 0, nblk-1)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s dim %d: BlockSumsTotal = %v (%#x), reference %v (%#x)",
+						im.Name, n, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+				for k := range gotDst {
+					if math.Float64bits(gotDst[k]) != math.Float64bits(wantDst[k]) {
+						t.Fatalf("%s dim %d: blockSums[%d] = %v, reference %v",
+							im.Name, n, k, gotDst[k], wantDst[k])
+					}
+				}
 			}
 			// Distance/SquaredDistance derivations stay consistent with the
 			// kernels for every metric.

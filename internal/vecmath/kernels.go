@@ -5,12 +5,22 @@
 // ONE canonical order so that results are bitwise reproducible across code
 // paths: dimensions are grouped into fixed blocks of BlockDims, each block
 // is reduced with a 4-lane unrolled sum (BlockSum), and the per-block
-// subtotals are added left to right. The unrolled kernels below inline the
+// subtotals are added left to right. Both the scalar kernels below and the
+// SIMD implementations behind the dispatch table (dispatch.go) inline the
 // exact same association pattern — the fuzz tests in fuzz_test.go assert
-// bitwise agreement between the inlined kernels and a reference built by
-// composing BlockSum, which is what lets bitplane.Bounder's blocked partial
-// sums stay bitwise equal to the exact distance once a vector is fully
-// fetched (DESIGN.md, "Hot-path performance").
+// bitwise agreement between every dispatchable implementation and a
+// reference built by composing scalar block sums, which is what lets
+// bitplane.Bounder's blocked partial sums stay bitwise equal to the exact
+// distance once a vector is fully fetched (DESIGN.md, "Hot-path
+// performance" and "SIMD dispatch").
+//
+// Length contract: the two-vector kernels (SquaredL2, Dot and everything
+// derived from them) PANIC on a length mismatch — ragged inputs are always
+// a caller bug, and silently truncating to the shorter vector would turn a
+// corrupted index into wrong search results. The panic is part of the
+// public contract and every implementation (scalar and SIMD) observes it
+// identically: lengths are validated once in the exported wrapper, before
+// dispatch, so assembly kernels only ever see equal-length slices.
 package vecmath
 
 import "fmt"
@@ -18,14 +28,45 @@ import "fmt"
 // BlockDims is the number of dimensions per summation block. 16 float64
 // subtotals fit in two cache lines, and a 16-term block is enough for the
 // 4-lane unroll to hide the FP add latency chain; bitplane.Bounder uses the
-// same constant for its per-block running subtotals.
+// same constant for its per-block running subtotals. The SIMD kernels
+// depend on the two facts that a block is 4 lanes × 4 strided terms and
+// that 4 float64 lanes fill one 256-bit vector register.
 const BlockDims = 16
+
+// checkPair validates the shared length contract of the two-vector kernels.
+func checkPair(kernel string, a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: %s dimension mismatch %d vs %d", kernel, len(a), len(b)))
+	}
+}
+
+// checkBlocks validates the BlockSumsTotal geometry contract: blockSums
+// must hold exactly one subtotal per BlockDims-sized block of contrib, and
+// [firstBlk, lastBlk] must be a non-empty in-range block interval.
+func checkBlocks(contrib, blockSums []float64, firstBlk, lastBlk int) {
+	if want := (len(contrib) + BlockDims - 1) / BlockDims; len(blockSums) != want {
+		panic(fmt.Sprintf("vecmath: BlockSumsTotal: %d block sums for %d dims (want %d)",
+			len(blockSums), len(contrib), want))
+	}
+	if firstBlk < 0 || lastBlk < firstBlk || lastBlk >= len(blockSums) {
+		panic(fmt.Sprintf("vecmath: BlockSumsTotal: block range [%d,%d] out of range (%d blocks)",
+			firstBlk, lastBlk, len(blockSums)))
+	}
+}
 
 // BlockSum reduces up to BlockDims terms in the canonical block order: four
 // independent accumulator lanes over strided terms for a full block, a
 // plain left-to-right sum for a partial tail block. This is the ONLY
-// reduction order hot-path code may use for distance contributions.
+// reduction order hot-path code may use for distance contributions. The
+// call dispatches to the best implementation for the CPU (see dispatch.go);
+// scalarBlockSum is the reference definition.
 func BlockSum(terms []float64) float64 {
+	return blockSumDispatch(terms)
+}
+
+// scalarBlockSum is the portable reference BlockSum; every SIMD
+// implementation must match it bitwise on every input.
+func scalarBlockSum(terms []float64) float64 {
 	if len(terms) == BlockDims {
 		var s0, s1, s2, s3 float64
 		for i := 0; i < BlockDims; i += 4 {
@@ -45,7 +86,9 @@ func BlockSum(terms []float64) float64 {
 
 // BlockedSum reduces an arbitrary-length term slice the way the hot path
 // does: BlockSum per BlockDims-sized block, block subtotals added left to
-// right. Reference composition for tests and non-critical callers.
+// right. It composes the SCALAR block sum on purpose: this is the reference
+// reduction the fuzz and property tests pin every SIMD implementation
+// against, so it must stay independent of the dispatch table.
 func BlockedSum(terms []float64) float64 {
 	total := 0.0
 	for i := 0; i < len(terms); i += BlockDims {
@@ -53,19 +96,55 @@ func BlockedSum(terms []float64) float64 {
 		if end > len(terms) {
 			end = len(terms)
 		}
-		total += BlockSum(terms[i:end])
+		total += scalarBlockSum(terms[i:end])
+	}
+	return total
+}
+
+// BlockSumsTotal refreshes the per-block subtotals blockSums[firstBlk..lastBlk]
+// from contrib (blockSums[k] = BlockSum of contrib's k-th BlockDims-sized
+// block) and returns the left-to-right total over ALL of blockSums. It is
+// the fused bounder bound-update kernel: consuming one 64 B line touches a
+// handful of blocks, and the bound is the fresh total of every block
+// subtotal (never an incremental delta — see DESIGN.md on catastrophic
+// cancellation). Geometry is validated here, before dispatch; the blockSums
+// slice must hold exactly ceil(len(contrib)/BlockDims) entries.
+func BlockSumsTotal(contrib, blockSums []float64, firstBlk, lastBlk int) float64 {
+	checkBlocks(contrib, blockSums, firstBlk, lastBlk)
+	return blockSumsTotalDispatch(contrib, blockSums, firstBlk, lastBlk)
+}
+
+// scalarBlockSumsTotal is the portable reference BlockSumsTotal.
+func scalarBlockSumsTotal(contrib, blockSums []float64, firstBlk, lastBlk int) float64 {
+	dim := len(contrib)
+	for k := firstBlk; k <= lastBlk; k++ {
+		lo := k * BlockDims
+		hi := lo + BlockDims
+		if hi > dim {
+			hi = dim
+		}
+		blockSums[k] = scalarBlockSum(contrib[lo:hi])
+	}
+	total := 0.0
+	for _, s := range blockSums {
+		total += s
 	}
 	return total
 }
 
 // SquaredL2 computes sum((a_i-b_i)^2) in float64 with the canonical blocked
-// reduction, 4-way unrolled. It is the sqrt-free comparison kernel: for
-// ordering candidates, comparing squared distances is equivalent to (and
-// cheaper than) comparing Euclidean distances.
+// reduction. It is the sqrt-free comparison kernel: for ordering
+// candidates, comparing squared distances is equivalent to (and cheaper
+// than) comparing Euclidean distances. Panics if len(a) != len(b); the
+// dispatched implementations are bitwise-identical to scalarSquaredL2.
 func SquaredL2(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(a), len(b)))
-	}
+	checkPair("SquaredL2", a, b)
+	return squaredL2Dispatch(a, b)
+}
+
+// scalarSquaredL2 is the portable reference kernel, 4-way unrolled in the
+// canonical block order. Callers must have validated len(a) == len(b).
+func scalarSquaredL2(a, b []float32) float64 {
 	n := len(a)
 	total := 0.0
 	i := 0
@@ -97,11 +176,17 @@ func SquaredL2(a, b []float32) float64 {
 }
 
 // Dot computes sum(a_i*b_i) in float64 with the canonical blocked
-// reduction, 4-way unrolled. The inner-product distance is its negation.
+// reduction. The inner-product distance is its negation. Panics if
+// len(a) != len(b); the dispatched implementations are bitwise-identical
+// to scalarDot.
 func Dot(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(a), len(b)))
-	}
+	checkPair("Dot", a, b)
+	return dotDispatch(a, b)
+}
+
+// scalarDot is the portable reference kernel, 4-way unrolled in the
+// canonical block order. Callers must have validated len(a) == len(b).
+func scalarDot(a, b []float32) float64 {
 	n := len(a)
 	total := 0.0
 	i := 0

@@ -1,0 +1,392 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SIMD implementations of the hot kernels. Bitwise contract: every kernel
+// reproduces the scalar reference reduction (kernels.go) EXACTLY —
+//
+//   - one 16-dim block = 4 accumulator lanes over stride-4 terms; the four
+//     lanes live in one 256-bit register, so lane L accumulates terms
+//     L, L+4, L+8, L+12 in the same order as the scalar s0..s3;
+//   - lanes start at +0.0 and are combined as (s0+s1)+(s2+s3);
+//   - block subtotals and tail terms are added left to right into a scalar
+//     accumulator that also starts at +0.0 (0+x matters for -0.0 inputs,
+//     so accumulators are always zeroed and added to, never seeded with
+//     the first term);
+//   - float32 operands are widened to float64 before arithmetic
+//     (VCVTPS2PD is exact) and no FMA is ever used: separate VMULPD/VADDPD
+//     round exactly like the scalar '*' and '+'.
+//
+// FuzzKernelsMatchReference and TestKernelTailsMatchScalar gate all of
+// this bit for bit against the scalar reference.
+
+// REDUCEBLOCK folds a 4-lane block accumulator Yacc = [s0 s1 s2 s3] into
+// the running scalar total Xtot as total += (s0+s1)+(s2+s3). Xlo must be
+// the low xmm half of Yacc; Xhi and Xtmp are scratch.
+#define REDUCEBLOCK(Yacc, Xlo, Xhi, Xtmp, Xtot) \
+	VEXTRACTF128 $1, Yacc, Xhi  \ // Xhi = [s2 s3]
+	VPERMILPD    $1, Xlo, Xtmp  \ // Xtmp = [s1 s0]
+	VADDSD       Xtmp, Xlo, Xlo \ // Xlo.lo = s0+s1
+	VPERMILPD    $1, Xhi, Xtmp  \
+	VADDSD       Xtmp, Xhi, Xhi \ // Xhi.lo = s2+s3
+	VADDSD       Xhi, Xlo, Xlo  \ // (s0+s1)+(s2+s3)
+	VADDSD       Xlo, Xtot, Xtot
+
+// SQL2BLOCK4 adds one stride-4 term group of a squared-L2 block at byte
+// offset ofs from a_ptr/b_ptr (indexed by idx*4) into Yacc.
+#define SQL2BLOCK4(ofs, a_ptr, b_ptr, idx, Yacc) \
+	VCVTPS2PD ofs(a_ptr)(idx*4), Y1 \
+	VCVTPS2PD ofs(b_ptr)(idx*4), Y2 \
+	VSUBPD    Y2, Y1, Y1            \
+	VMULPD    Y1, Y1, Y1            \
+	VADDPD    Y1, Yacc, Yacc
+
+// DOTBLOCK4 adds one stride-4 term group of a dot block into Yacc.
+#define DOTBLOCK4(ofs, a_ptr, b_ptr, idx, Yacc) \
+	VCVTPS2PD ofs(a_ptr)(idx*4), Y1 \
+	VCVTPS2PD ofs(b_ptr)(idx*4), Y2 \
+	VMULPD    Y2, Y1, Y1            \
+	VADDPD    Y1, Yacc, Yacc
+
+// func squaredL2AVX2(a, b []float32) float64
+TEXT ·squaredL2AVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD X9, X9, X9      // total
+	XORQ   AX, AX          // i
+	MOVQ   CX, DX
+	ANDQ   $-16, DX        // full-block limit
+
+l2blocks:
+	CMPQ   AX, DX
+	JGE    l2tail
+	VXORPD Y0, Y0, Y0
+	SQL2BLOCK4(0, SI, DI, AX, Y0)
+	SQL2BLOCK4(16, SI, DI, AX, Y0)
+	SQL2BLOCK4(32, SI, DI, AX, Y0)
+	SQL2BLOCK4(48, SI, DI, AX, Y0)
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	ADDQ   $16, AX
+	JMP    l2blocks
+
+l2tail:
+	CMPQ   AX, CX
+	JGE    l2done
+	VXORPD X4, X4, X4      // tail accumulator
+	VXORPD X5, X5, X5
+	VXORPD X6, X6, X6
+
+l2tailloop:
+	VCVTSS2SD (SI)(AX*4), X5, X5
+	VCVTSS2SD (DI)(AX*4), X6, X6
+	VSUBSD    X6, X5, X7
+	VMULSD    X7, X7, X7
+	VADDSD    X7, X4, X4
+	INCQ      AX
+	CMPQ      AX, CX
+	JL        l2tailloop
+	VADDSD    X4, X9, X9   // total += tail
+
+l2done:
+	VMOVSD     X9, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func dotAVX2(a, b []float32) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD X9, X9, X9
+	XORQ   AX, AX
+	MOVQ   CX, DX
+	ANDQ   $-16, DX
+
+dotblocks:
+	CMPQ   AX, DX
+	JGE    dottail
+	VXORPD Y0, Y0, Y0
+	DOTBLOCK4(0, SI, DI, AX, Y0)
+	DOTBLOCK4(16, SI, DI, AX, Y0)
+	DOTBLOCK4(32, SI, DI, AX, Y0)
+	DOTBLOCK4(48, SI, DI, AX, Y0)
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	ADDQ   $16, AX
+	JMP    dotblocks
+
+dottail:
+	CMPQ   AX, CX
+	JGE    dotdone
+	VXORPD X4, X4, X4
+	VXORPD X5, X5, X5
+	VXORPD X6, X6, X6
+
+dottailloop:
+	VCVTSS2SD (SI)(AX*4), X5, X5
+	VCVTSS2SD (DI)(AX*4), X6, X6
+	VMULSD    X6, X5, X7
+	VADDSD    X7, X4, X4
+	INCQ      AX
+	CMPQ      AX, CX
+	JL        dottailloop
+	VADDSD    X4, X9, X9
+
+dotdone:
+	VMOVSD     X9, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// SQL2PAIR4 adds one stride-4 term group (byte offset ofs) of TWO adjacent
+// squared-L2 blocks into the 8-lane accumulator Zacc: lanes 0-3 belong to
+// the block at idx, lanes 4-7 to the block 16 dims (64 bytes) later.
+#define SQL2PAIR4(ofs, a_ptr, b_ptr, idx, Zacc) \
+	VCVTPS2PD    ofs(a_ptr)(idx*4), Y1        \
+	VCVTPS2PD    (ofs+64)(a_ptr)(idx*4), Y3   \
+	VINSERTF64X4 $1, Y3, Z1, Z1               \
+	VCVTPS2PD    ofs(b_ptr)(idx*4), Y2        \
+	VCVTPS2PD    (ofs+64)(b_ptr)(idx*4), Y4   \
+	VINSERTF64X4 $1, Y4, Z2, Z2               \
+	VSUBPD       Z2, Z1, Z1                   \
+	VMULPD       Z1, Z1, Z1                   \
+	VADDPD       Z1, Zacc, Zacc
+
+#define DOTPAIR4(ofs, a_ptr, b_ptr, idx, Zacc) \
+	VCVTPS2PD    ofs(a_ptr)(idx*4), Y1        \
+	VCVTPS2PD    (ofs+64)(a_ptr)(idx*4), Y3   \
+	VINSERTF64X4 $1, Y3, Z1, Z1               \
+	VCVTPS2PD    ofs(b_ptr)(idx*4), Y2        \
+	VCVTPS2PD    (ofs+64)(b_ptr)(idx*4), Y4   \
+	VINSERTF64X4 $1, Y4, Z2, Z2               \
+	VMULPD       Z2, Z1, Z1                   \
+	VADDPD       Z1, Zacc, Zacc
+
+// func squaredL2AVX512(a, b []float32) float64
+//
+// Processes two canonical 16-dim blocks per iteration in one ZMM: the
+// blocks are independent 4-lane sums, so packing block k in lanes 0-3 and
+// block k+1 in lanes 4-7 preserves the scalar association exactly; the two
+// halves are then reduced and added to the total in block order.
+TEXT ·squaredL2AVX512(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD X9, X9, X9
+	XORQ   AX, AX
+	MOVQ   CX, DX
+	ANDQ   $-16, DX        // full-block limit
+	MOVQ   CX, BX
+	ANDQ   $-32, BX        // block-pair limit
+
+l512pairs:
+	CMPQ   AX, BX
+	JGE    l512single
+	VXORPD Y0, Y0, Y0      // zeroes all of Z0
+	SQL2PAIR4(0, SI, DI, AX, Z0)
+	SQL2PAIR4(16, SI, DI, AX, Z0)
+	SQL2PAIR4(32, SI, DI, AX, Z0)
+	SQL2PAIR4(48, SI, DI, AX, Z0)
+	VEXTRACTF64X4 $1, Z0, Y3              // block k+1 lanes
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)       // total += block k
+	REDUCEBLOCK(Y3, X3, X1, X2, X9)       // total += block k+1
+	ADDQ   $32, AX
+	JMP    l512pairs
+
+l512single:
+	CMPQ   AX, DX
+	JGE    l512tail
+	VXORPD Y0, Y0, Y0
+	SQL2BLOCK4(0, SI, DI, AX, Y0)
+	SQL2BLOCK4(16, SI, DI, AX, Y0)
+	SQL2BLOCK4(32, SI, DI, AX, Y0)
+	SQL2BLOCK4(48, SI, DI, AX, Y0)
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	ADDQ   $16, AX
+	JMP    l512single
+
+l512tail:
+	CMPQ   AX, CX
+	JGE    l512done
+	VXORPD X4, X4, X4
+	VXORPD X5, X5, X5
+	VXORPD X6, X6, X6
+
+l512tailloop:
+	VCVTSS2SD (SI)(AX*4), X5, X5
+	VCVTSS2SD (DI)(AX*4), X6, X6
+	VSUBSD    X6, X5, X7
+	VMULSD    X7, X7, X7
+	VADDSD    X7, X4, X4
+	INCQ      AX
+	CMPQ      AX, CX
+	JL        l512tailloop
+	VADDSD    X4, X9, X9
+
+l512done:
+	VMOVSD     X9, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func dotAVX512(a, b []float32) float64
+TEXT ·dotAVX512(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD X9, X9, X9
+	XORQ   AX, AX
+	MOVQ   CX, DX
+	ANDQ   $-16, DX
+	MOVQ   CX, BX
+	ANDQ   $-32, BX
+
+d512pairs:
+	CMPQ   AX, BX
+	JGE    d512single
+	VXORPD Y0, Y0, Y0
+	DOTPAIR4(0, SI, DI, AX, Z0)
+	DOTPAIR4(16, SI, DI, AX, Z0)
+	DOTPAIR4(32, SI, DI, AX, Z0)
+	DOTPAIR4(48, SI, DI, AX, Z0)
+	VEXTRACTF64X4 $1, Z0, Y3
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	REDUCEBLOCK(Y3, X3, X1, X2, X9)
+	ADDQ   $32, AX
+	JMP    d512pairs
+
+d512single:
+	CMPQ   AX, DX
+	JGE    d512tail
+	VXORPD Y0, Y0, Y0
+	DOTBLOCK4(0, SI, DI, AX, Y0)
+	DOTBLOCK4(16, SI, DI, AX, Y0)
+	DOTBLOCK4(32, SI, DI, AX, Y0)
+	DOTBLOCK4(48, SI, DI, AX, Y0)
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	ADDQ   $16, AX
+	JMP    d512single
+
+d512tail:
+	CMPQ   AX, CX
+	JGE    d512done
+	VXORPD X4, X4, X4
+	VXORPD X5, X5, X5
+	VXORPD X6, X6, X6
+
+d512tailloop:
+	VCVTSS2SD (SI)(AX*4), X5, X5
+	VCVTSS2SD (DI)(AX*4), X6, X6
+	VMULSD    X6, X5, X7
+	VADDSD    X7, X4, X4
+	INCQ      AX
+	CMPQ      AX, CX
+	JL        d512tailloop
+	VADDSD    X4, X9, X9
+
+d512done:
+	VMOVSD     X9, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func blockSumAVX2(terms []float64) float64
+//
+// Full 16-term block: 4-lane strided sum with zero-seeded lanes, combined
+// (s0+s1)+(s2+s3). Any other length: plain left-to-right sum, exactly like
+// scalarBlockSum.
+TEXT ·blockSumAVX2(SB), NOSPLIT, $0-32
+	MOVQ   terms_base+0(FP), SI
+	MOVQ   terms_len+8(FP), CX
+	CMPQ   CX, $16
+	JNE    bsgeneric
+	VXORPD Y0, Y0, Y0
+	VADDPD (SI), Y0, Y0
+	VADDPD 32(SI), Y0, Y0
+	VADDPD 64(SI), Y0, Y0
+	VADDPD 96(SI), Y0, Y0
+	VXORPD X9, X9, X9
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	VMOVSD     X9, ret+24(FP)
+	VZEROUPPER
+	RET
+
+bsgeneric:
+	VXORPD X0, X0, X0
+	TESTQ  CX, CX
+	JZ     bsdone
+
+bsloop:
+	VADDSD (SI), X0, X0
+	ADDQ   $8, SI
+	DECQ   CX
+	JNZ    bsloop
+
+bsdone:
+	VMOVSD X0, ret+24(FP)
+	RET
+
+// func blockSumsTotalAVX2(contrib, blockSums []float64, firstBlk, lastBlk int) float64
+//
+// Refreshes blockSums[firstBlk..lastBlk] from contrib (full blocks via the
+// 4-lane SIMD reduction, the final partial block left to right), then
+// returns the left-to-right total over ALL of blockSums. Geometry has been
+// validated by the Go wrapper.
+TEXT ·blockSumsTotalAVX2(SB), NOSPLIT, $0-72
+	MOVQ contrib_base+0(FP), SI
+	MOVQ contrib_len+8(FP), CX   // dim
+	MOVQ blockSums_base+24(FP), DI
+	MOVQ blockSums_len+32(FP), DX // nblk
+	MOVQ firstBlk+48(FP), AX      // k
+	MOVQ lastBlk+56(FP), BX
+
+bstrefresh:
+	CMPQ AX, BX
+	JGT  bsttotal
+	MOVQ AX, R8
+	SHLQ $4, R8            // first dim of block k
+	MOVQ CX, R9
+	SUBQ R8, R9            // dims remaining from block start
+	LEAQ (SI)(R8*8), R10
+	CMPQ R9, $16
+	JLT  bstpartial
+	VXORPD Y0, Y0, Y0
+	VADDPD (R10), Y0, Y0
+	VADDPD 32(R10), Y0, Y0
+	VADDPD 64(R10), Y0, Y0
+	VADDPD 96(R10), Y0, Y0
+	VXORPD X9, X9, X9
+	REDUCEBLOCK(Y0, X0, X1, X2, X9)
+	VMOVSD X9, (DI)(AX*8)
+	INCQ   AX
+	JMP    bstrefresh
+
+bstpartial:
+	VXORPD X0, X0, X0
+	TESTQ  R9, R9
+	JZ     bstpstore
+
+bstploop:
+	VADDSD (R10), X0, X0
+	ADDQ   $8, R10
+	DECQ   R9
+	JNZ    bstploop
+
+bstpstore:
+	VMOVSD X0, (DI)(AX*8)
+	INCQ   AX
+	JMP    bstrefresh
+
+bsttotal:
+	VXORPD X0, X0, X0
+	XORQ   AX, AX
+	TESTQ  DX, DX
+	JZ     bsttdone
+
+bsttloop:
+	VADDSD (DI)(AX*8), X0, X0
+	ADDQ   $1, AX
+	CMPQ   AX, DX
+	JL     bsttloop
+
+bsttdone:
+	VMOVSD     X0, ret+64(FP)
+	VZEROUPPER
+	RET
