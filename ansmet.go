@@ -157,6 +157,13 @@ type Options struct {
 	// Seed drives all randomized choices (level assignment, sampling).
 	Seed uint64
 
+	// TieredBudget is the default adaptive-cut budget for the tiered
+	// bound-first/exact-rerank pipeline, in (0, 1]. Zero (and any
+	// out-of-range value) means 1: the provably exact cut. Smaller values
+	// trade a recall guarantee of roughly this level for a smaller exact
+	// re-rank pool (see DESIGN.md, "Tiered pipeline and query routing").
+	TieredBudget float64
+
 	// Advanced exposes every platform knob; leave nil for defaults. When
 	// set, its Design field is overridden by Options.Design.
 	Advanced *core.SystemConfig
@@ -189,6 +196,7 @@ type Database struct {
 	opts    Options
 	vectors [][]float32
 	sys     *core.System
+	router  *engine.Router
 
 	scratchPool sync.Pool // *searchScratch
 }
@@ -202,6 +210,9 @@ type searchScratch struct {
 	qq  []float32
 	eng engine.Engine
 	buf []Neighbor
+	// tiered is the lazy dedicated plain ET engine used by the tiered
+	// pipeline when eng is resilience-wrapped (see Database.tieredEngine).
+	tiered *core.ETEngine
 }
 
 func (db *Database) getScratch() *searchScratch {
@@ -264,7 +275,9 @@ func New(vectors [][]float32, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{opts: opts, vectors: quant, sys: sys}, nil
+	db := &Database{opts: opts, vectors: quant, sys: sys}
+	db.router = engine.NewRouter(engine.RouterConfig{}, db.degradedRanks)
+	return db, nil
 }
 
 // Len returns the number of indexed vectors.
@@ -438,17 +451,18 @@ const searchManyChunk = 16
 // outside the resilient path) does not crash the process: the remaining
 // queries are cancelled and the panic is returned as an error.
 func (db *Database) SearchMany(queries [][]float32, k, ef, workers int) ([][]Neighbor, error) {
-	out, _, err := db.searchMany(nil, queries, k, ef, workers)
+	out, _, err := db.searchMany(nil, queries, k, ef, workers, RouteNDP)
 	return out, err
 }
 
-// searchMany is the shared worker pool behind SearchMany and
-// SearchManyCtx. A nil done channel disables cancellation. When done
+// searchMany is the shared worker pool behind SearchMany, SearchManyCtx
+// and SearchManyRouted. A nil done channel disables cancellation. When done
 // fires, workers stop claiming new queries (checked once per query) and
 // the in-flight traversals observe the same channel through their own
 // checkpoints; completed queries keep their slot in out, unstarted ones
-// stay nil.
-func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef, workers int) ([][]Neighbor, bool, error) {
+// stay nil. route selects the per-query execution path (a concrete route,
+// not RouteAuto — callers resolve auto once for the batch).
+func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef, workers int, route Route) ([][]Neighbor, bool, error) {
 	for i, q := range queries {
 		if err := db.validateQuery(q, k, ef); err != nil {
 			return nil, false, fmt.Errorf("query %d: %w", i, err)
@@ -515,6 +529,42 @@ func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef,
 					}
 					if searchManyTestHook != nil {
 						searchManyTestHook(i)
+					}
+					if route == RouteTiered || route == RouteExact {
+						et := db.tieredEngine(s)
+						if et == nil {
+							// Base design: exact full-scan fallback.
+							nn, _, qc, _ := db.exactSearch(done, queries[i], k)
+							if qc {
+								cancelled.Store(true)
+								stop.Store(true)
+								return
+							}
+							out[i] = nn
+							continue
+						}
+						qq := s.quantize(queries[i], db.opts.Elem)
+						if route == RouteTiered {
+							var st core.TieredStats
+							s.buf, st = et.TieredKNNInto(done, qq, k, core.TieredOpts{Budget: db.tieredBudget()}, s.buf)
+							if st.Cancelled {
+								cancelled.Store(true)
+								stop.Store(true)
+								return
+							}
+							res := make([]Neighbor, len(s.buf))
+							copy(res, s.buf)
+							out[i] = res
+							continue
+						}
+						nn, _, qc := et.ExactKNNCtx(done, qq, k)
+						if qc {
+							cancelled.Store(true)
+							stop.Store(true)
+							return
+						}
+						out[i] = nn
+						continue
 					}
 					qq := s.quantize(queries[i], db.opts.Elem)
 					var qc bool

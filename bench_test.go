@@ -125,6 +125,10 @@ func BenchmarkAblationQuantization(b *testing.B) {
 	runTable(b, "ablation-quant", func() *experiments.Table { return benchRunner().AblationQuantization() })
 }
 
+func BenchmarkFigTieredFrontier(b *testing.B) {
+	runTable(b, "frontier", func() *experiments.Table { return benchRunner().FigTieredFrontier() })
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the core building blocks.
 // ---------------------------------------------------------------------------
@@ -376,6 +380,49 @@ func BenchmarkSearchWithDeadline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if dst, err = db.SearchCtxInto(ctx, ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTieredSearch measures one steady-state query through the tiered
+// bound-first/exact-rerank pipeline at the default (lossless) budget,
+// reporting allocations per operation (the gated budget: 0 allocs/op).
+func BenchmarkTieredSearch(b *testing.B) {
+	db := benchDB()
+	ds := benchData()
+	var dst []ansmet.Neighbor
+	var err error
+	if dst, _, err = db.TieredSearchInto(ds.Queries[0], 10, 0, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, _, err = db.TieredSearchInto(ds.Queries[i%len(ds.Queries)], 10, 0, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterOverhead measures the routed entry point on the explicit
+// NDP path with a live deadline: the delta versus BenchmarkSearchWithDeadline
+// is the whole price of the routing envelope (decision, in-flight tracking,
+// counters, EWMA cost observation). Budget: 0 allocs/op.
+func BenchmarkRouterOverhead(b *testing.B) {
+	db := benchDB()
+	ds := benchData()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	var dst []ansmet.Neighbor
+	var err error
+	if dst, _, err = db.SearchRouted(ctx, ds.Queries[0], 10, 64, ansmet.RouteNDP, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, _, err = db.SearchRouted(ctx, ds.Queries[i%len(ds.Queries)], 10, 64, ansmet.RouteNDP, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

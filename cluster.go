@@ -246,12 +246,43 @@ func jumpHash(key uint64, buckets int) int {
 	return int(b)
 }
 
+// routeKey carries an explicit per-query Route through the coordinator's
+// context to the shard search functions, keeping the cluster.ShardFunc
+// signature (and every byte-identity property of the default path) intact.
+type routeKey struct{}
+
+// WithRoute returns a context carrying an explicit shard-level route.
+// Contexts without one execute the default NDP beam path.
+func WithRoute(ctx context.Context, r Route) context.Context {
+	return context.WithValue(ctx, routeKey{}, r)
+}
+
+// routeFrom extracts the carried route; the default is RouteNDP, the
+// historical path (routing is strictly opt-in).
+func routeFrom(ctx context.Context) Route {
+	if r, ok := ctx.Value(routeKey{}).(Route); ok {
+		return r
+	}
+	return RouteNDP
+}
+
 // shardSearchFunc adapts one shard Database into the coordinator's shard
-// interface: search shard-locally, then remap local row ids to global
-// vector ids and restore the canonical (Dist, ID) order the merge needs.
+// interface: search shard-locally on the context-selected route, then remap
+// local row ids to global vector ids and restore the canonical (Dist, ID)
+// order the merge needs. On the tiered route each shard returns its exact
+// top-k (budget 1), so the merged result is the exact global top-k.
 func shardSearchFunc(db *Database, ids []uint32) cluster.ShardFunc {
 	return func(ctx context.Context, q []float32, k, ef int, dst []hnsw.Neighbor) ([]hnsw.Neighbor, error) {
-		out, err := db.SearchCtxInto(ctx, q, k, ef, dst)
+		var out []hnsw.Neighbor
+		var err error
+		switch routeFrom(ctx) {
+		case RouteTiered:
+			out, _, err = db.TieredSearchCtxInto(ctx, q, k, 0, dst)
+		case RouteExact:
+			out, _, err = db.ExactSearchCtx(ctx, q, k)
+		default:
+			out, err = db.SearchCtxInto(ctx, q, k, ef, dst)
+		}
 		if err != nil {
 			var ce *CancelError
 			if errors.As(err, &ce) && ce.Partial {
@@ -330,6 +361,28 @@ func (c *Cluster) SearchEfCtxInto(ctx context.Context, q []float32, k, ef int, d
 		return out, err
 	}
 	return out, nil
+}
+
+// SearchRouted is SearchEfCtx with a query-path mode (see
+// Database.SearchRouted). RouteAuto is resolved ONCE, on the first shard's
+// router — whose EWMA and breaker state see this cluster's traffic — and
+// every shard then executes the same concrete path, so the scatter-gather
+// merge stays coherent (mixing routes across shards would merge answers of
+// different quality classes). The chosen route rides the context via
+// WithRoute; the coordinator, hedging, and partial-merge semantics are
+// untouched.
+func (c *Cluster) SearchRouted(ctx context.Context, q []float32, k, ef int, mode Route) (ClusterResult, Route, error) {
+	lead := c.shards[0]
+	route := mode
+	if route == RouteAuto {
+		route = lead.router.Decide(slackOf(ctx), lead.sys.Store != nil)
+	}
+	if route == RouteTiered && lead.sys.Store == nil {
+		route = RouteExact
+	}
+	res, err := c.SearchEfCtxInto(WithRoute(ctx, route), q, k, ef, nil)
+	lead.router.Record(route)
+	return res, route, err
 }
 
 // ExactSearchCtx scatter-gathers the exact (linear-scan) search: each shard

@@ -411,3 +411,53 @@ func TestClusterLoadRejectsCorruptManifest(t *testing.T) {
 		t.Fatal("load without manifest succeeded")
 	}
 }
+
+// TestClusterSearchRouted: the tiered route on a sharded cluster merges
+// per-shard exact top-k answers (budget 1), so the result is byte-identical
+// to the unsharded exact search — the cluster-level statement of the
+// stage-2 identity invariant. The exact route reaches the same answer
+// through each shard's scan path, and auto on a healthy idle cluster
+// resolves to the tiered path.
+func TestClusterSearchRouted(t *testing.T) {
+	p := dataset.ProfileByName("DEEP")
+	const n = 300
+	ds := dataset.Generate(p, n, 6, 21)
+	build := ansmet.Options{Metric: p.Metric, Elem: p.Elem, EfConstruction: 60, Seed: 7}
+	db, err := ansmet.New(ds.Vectors, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, shards := range []int{2, 3} {
+		cl, err := ansmet.NewCluster(ds.Vectors, ansmet.ClusterOptions{
+			Shards: shards, Build: build, DisableHedging: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range ds.Queries {
+			want, _, err := db.ExactSearch(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []ansmet.Route{ansmet.RouteTiered, ansmet.RouteExact} {
+				res, route, err := cl.SearchRouted(ctx, q, 10, 64, mode)
+				if err != nil || route != mode {
+					t.Fatalf("shards=%d q%d %v: route=%v err=%v", shards, qi, mode, route, err)
+				}
+				if !reflect.DeepEqual(res.Neighbors, want) {
+					t.Fatalf("shards=%d q%d %v:\n  cluster   %v\n  unsharded %v",
+						shards, qi, mode, res.Neighbors, want)
+				}
+			}
+			// Auto on a healthy idle cluster picks the tiered path.
+			res, route, err := cl.SearchRouted(ctx, q, 10, 64, ansmet.RouteAuto)
+			if err != nil || route != ansmet.RouteTiered {
+				t.Fatalf("shards=%d q%d auto: route=%v err=%v", shards, qi, route, err)
+			}
+			if !reflect.DeepEqual(res.Neighbors, want) {
+				t.Fatalf("shards=%d q%d auto diverged", shards, qi)
+			}
+		}
+	}
+}

@@ -23,7 +23,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use the small smoke-test workload scale")
 	exp := flag.String("exp", "all",
-		"comma-separated experiments: fig1,fig3,fig6,fig7,fig8,fig9,fig10,fig11,fig12,table3,table4,table5,replication,ablation-batch,ablation-quant")
+		"comma-separated experiments: fig1,fig3,fig6,fig7,fig8,fig9,fig10,fig11,fig12,table3,table4,table5,replication,ablation-batch,ablation-quant,frontier")
 	ks := flag.String("k", "1,5,10", "result counts for fig6")
 	parallel := flag.Int("parallel", 0, "experiment cell workers (0 = GOMAXPROCS); tables are identical at any setting")
 	flag.Parse()
@@ -62,6 +62,7 @@ func main() {
 		{"replication", r.Replication},
 		{"ablation-batch", r.AblationBeamBatch},
 		{"ablation-quant", r.AblationQuantization},
+		{"frontier", r.FigTieredFrontier},
 	}
 
 	want := map[string]bool{}

@@ -34,16 +34,16 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve, cluster")
+	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve, cluster, router")
 	n := flag.Int("n", 400, "dataset size")
 	nq := flag.Int("q", 8, "query count")
 	seed := flag.Uint64("seed", 99, "fault schedule seed")
 	flag.Parse()
 
 	switch *scenario {
-	case "all", "recoverable", "crash", "silent", "serve", "cluster":
+	case "all", "recoverable", "crash", "silent", "serve", "cluster", "router":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent, serve or cluster)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent, serve, cluster or router)\n", *scenario)
 		os.Exit(2)
 	}
 	if *n < 50 || *nq < 1 {
@@ -86,6 +86,11 @@ func main() {
 	if sel == "all" || sel == "cluster" {
 		run("cluster (sharded soak: crashed + slow + flapping shards)", func() error {
 			return runClusterSoak(*n, *seed)
+		})
+	}
+	if sel == "all" || sel == "router" {
+		run("router (deadline pressure + rank crash: tiered degrades to exact)", func() error {
+			return runRouterSoak(*n, *seed)
 		})
 	}
 	if failed {

@@ -93,10 +93,16 @@ func main() {
 		log.Printf("cluster ready: %d vectors across %d shards (%s partition)", st.Vectors, st.Shards, st.Partition)
 		cfg.SearchOutcome = func(ctx context.Context, q []float32, k, ef int) (serve.Outcome, error) {
 			res, err := cl.SearchEfCtx(ctx, q, k, ef)
-			out := serve.Outcome{Neighbors: res.Neighbors, Partial: res.Partial, Hedged: res.Hedged}
-			for _, f := range res.Faults {
-				out.Faults = append(out.Faults, fmt.Sprintf("shard %d: %s: %v", f.Shard, f.Kind, f.Err))
+			return clusterOutcome(res), err
+		}
+		cfg.SearchRouted = func(ctx context.Context, q []float32, k, ef int, mode string) (serve.Outcome, error) {
+			r, perr := ansmet.ParseRoute(mode)
+			if perr != nil {
+				return serve.Outcome{}, perr
 			}
+			res, route, err := cl.SearchRouted(ctx, q, k, ef, r)
+			out := clusterOutcome(res)
+			out.Route = route.String()
 			return out, err
 		}
 		cfg.ExtraVars = func() map[string]any { return map[string]any{"cluster": cl.Stats()} }
@@ -110,6 +116,15 @@ func main() {
 		cfg.Search = func(ctx context.Context, q []float32, k, ef int) ([]ansmet.Neighbor, error) {
 			return db.SearchEfCtx(ctx, q, k, ef)
 		}
+		cfg.SearchRouted = func(ctx context.Context, q []float32, k, ef int, mode string) (serve.Outcome, error) {
+			r, perr := ansmet.ParseRoute(mode)
+			if perr != nil {
+				return serve.Outcome{}, perr
+			}
+			nn, route, err := db.SearchRouted(ctx, q, k, ef, r, nil)
+			return serve.Outcome{Neighbors: nn, Route: route.String()}, err
+		}
+		cfg.ExtraVars = func() map[string]any { return map[string]any{"router": db.RouterStats()} }
 	}
 
 	srvCore, err := serve.New(cfg)
@@ -150,6 +165,15 @@ func main() {
 		httpSrv.Close()
 	}
 	log.Printf("drained cleanly")
+}
+
+// clusterOutcome maps a cluster result to the serving layer's outcome.
+func clusterOutcome(res ansmet.ClusterResult) serve.Outcome {
+	out := serve.Outcome{Neighbors: res.Neighbors, Partial: res.Partial, Hedged: res.Hedged}
+	for _, f := range res.Faults {
+		out.Faults = append(out.Faults, fmt.Sprintf("shard %d: %s: %v", f.Shard, f.Kind, f.Err))
+	}
+	return out
 }
 
 // openDatabase loads a snapshot or builds a synthetic demo database.

@@ -150,7 +150,7 @@ func (db *Database) SearchManyCtx(ctx context.Context, queries [][]float32, k, e
 	if err := ctx.Err(); err != nil {
 		return nil, cancelErr(ctx, false)
 	}
-	out, cancelled, err := db.searchMany(ctx.Done(), queries, k, ef, workers)
+	out, cancelled, err := db.searchMany(ctx.Done(), queries, k, ef, workers, RouteNDP)
 	if err != nil {
 		return nil, err
 	}

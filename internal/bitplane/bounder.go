@@ -292,6 +292,29 @@ func (b *Bounder) RunET(data []byte, threshold float64) (lb float64, lines int) 
 	return lb, lines
 }
 
+// RunBound consumes lines until the bound exceeds stopAt, maxLines lines
+// have been consumed, or only one line remains unfetched — it never fully
+// fetches the vector, so the returned value is always a strict lower bound
+// (never the exact distance) and the fetch saving versus a full comparison
+// is guaranteed. This is the stage-1 primitive of the tiered pipeline: the
+// survivor pool is ordered by these bounds and re-ranked exactly in stage 2.
+// maxLines < 0 means no cap beyond the never-fully-fetch rule; maxLines = 0
+// consumes nothing and returns the query-constant initial bound.
+func (b *Bounder) RunBound(data []byte, stopAt float64, maxLines int) (lb float64, lines int) {
+	limit := b.layout.LinesPerVector() - 1
+	if maxLines >= 0 && maxLines < limit {
+		limit = maxLines
+	}
+	for b.nextLine < limit {
+		i := b.nextLine
+		lb = b.ConsumeNext(data[i*LineBytes : (i+1)*LineBytes])
+		if lb > stopAt {
+			return lb, b.nextLine
+		}
+	}
+	return b.LB(), b.nextLine
+}
+
 // RunETLocal additionally tracks the stricter localThreshold used to model
 // per-rank local early termination under dimension partitioning (§5.3): it
 // returns the line position at which the bound exceeds localThreshold

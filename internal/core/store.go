@@ -140,6 +140,11 @@ type ETEngine struct {
 	noBackup bool
 	// knnHeap is ExactKNN's reusable result heap (scratch, reset per call).
 	knnHeap maxHeap
+	// tierHeap and tierEntries are the tiered pipeline's reusable stage-1
+	// scratch: the running k-smallest-bounds heap and the per-id bound
+	// table (scratch, reset per call).
+	tierHeap    maxHeap
+	tierEntries []boundEntry
 }
 
 var _ engine.Engine = (*ETEngine)(nil)

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+
+	"ansmet/internal/hnsw"
+)
+
+// This file implements the tiered bound-first / exact-rerank query pipeline
+// (FusionANNS-style, ROADMAP item 3). A query runs in two stages over the
+// early-termination store:
+//
+//   - Stage 1 scans every id with the bound-only primitives
+//     (bitplane.Bounder.RunBound / prefixelim.OutlierBounder.RunBound),
+//     never fetching a vector fully and never touching an outlier's
+//     full-precision backup. Per-vector refinement stops early once the
+//     bound exceeds the running k-th smallest bound seen so far — a looser
+//     stop than ExactKNN's exact-k-th threshold, so stage 1 is strictly
+//     cheaper per vector. An early stop only coarsens that id's bound; no
+//     id is ever dropped, so every id enters stage 2 with a valid lower
+//     bound on its true distance.
+//
+//   - Stage 2 pops ids off a min-heap in ascending (bound, id) order and
+//     re-ranks them with the exact Compare path — the same kernels, heap
+//     and tie-break as ExactKNN, so the results over the re-ranked pool are
+//     byte-identical to an exact scan of those ids. The ascending-bound
+//     visit order tightens the running k-th exact distance near-optimally
+//     fast, which is where the speedup over an id-order exact scan comes
+//     from.
+//
+// The cut between the stages is adaptive, per query: stage 2 stops when the
+// next bound exceeds kth − (1−Budget)·|kth|, where kth is the running k-th
+// exact distance. Budget = 1 makes the stop provably lossless (a bound
+// above kth proves the true distance is above kth, for L2 and IP alike);
+// Budget < 1 trades that guarantee for a smaller pool. The stop threshold
+// is monotone in Budget and stage 1 does not depend on it, so a larger
+// budget always re-ranks a superset pool (identical execution prefix).
+
+// TieredOpts tunes the tiered pipeline.
+type TieredOpts struct {
+	// Budget is the recall-style cut knob in (0, 1]: stage 2 keeps
+	// re-ranking while the next candidate's bound is within
+	// (1−Budget)·|kth| below the running k-th exact distance. 1 (the
+	// default for out-of-range values) guarantees the exact answer.
+	Budget float64
+	// MaxBoundLines caps the stage-1 lines consumed per vector. 0 picks an
+	// adaptive default — slotLines/2 clamped to [1, 4] — which measures
+	// best across profiles: coarse bounds are cheap to produce and the
+	// ascending-bound stage-2 visit order compensates for their slack.
+	// Negative means the never-fully-fetch maximum (LinesPerVector()−1).
+	MaxBoundLines int
+}
+
+// TieredStats reports one tiered query's work split.
+type TieredStats struct {
+	Pool        int  // ids re-ranked exactly in stage 2
+	BoundLines  int  // lines fetched by the stage-1 bound-only scan
+	RerankLines int  // lines (incl. outlier backups) fetched by stage 2
+	Cancelled   bool // stopped at a cooperative-cancellation checkpoint
+}
+
+// boundEntry is one stage-1 survivor: the id and its distance lower bound.
+type boundEntry struct {
+	lb float64
+	id uint32
+}
+
+// entryLess orders the stage-2 min-heap: ascending bound, ties by id
+// (deterministic pop order, which the monotone-pool property relies on).
+func entryLess(a, b boundEntry) bool {
+	if a.lb != b.lb {
+		return a.lb < b.lb
+	}
+	return a.id < b.id
+}
+
+func siftDownEntry(es []boundEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(es) && entryLess(es[l], es[best]) {
+			best = l
+		}
+		if r < len(es) && entryLess(es[r], es[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		es[i], es[best] = es[best], es[i]
+		i = best
+	}
+}
+
+func heapifyEntries(es []boundEntry) {
+	for i := len(es)/2 - 1; i >= 0; i-- {
+		siftDownEntry(es, i)
+	}
+}
+
+func popEntry(es []boundEntry) ([]boundEntry, boundEntry) {
+	top := es[0]
+	last := len(es) - 1
+	es[0] = es[last]
+	es = es[:last]
+	siftDownEntry(es, 0)
+	return es, top
+}
+
+// rerankStop is the adaptive stage-2 cut: re-ranking stops once the next
+// candidate's bound exceeds this. Subtracting a fraction of |kth| (rather
+// than multiplying) keeps the relaxation direction correct for both L2
+// (kth ≥ 0) and IP (kth may be negative): smaller budgets always lower the
+// stop, never raise it.
+func rerankStop(kth, budget float64) float64 {
+	return kth - (1-budget)*math.Abs(kth)
+}
+
+// TieredKNNInto runs the tiered bound-first/exact-rerank pipeline for the k
+// nearest neighbors of q, appending results into dst[:0]. With Budget = 1
+// the results are byte-identical to ExactKNN (gated by tests); with a
+// reused dst the steady state allocates nothing. A nil done channel
+// disables cancellation; a cancelled stage 1 returns no results (bounds
+// alone are not usable answers), a cancelled stage 2 returns the exact
+// top-k over the prefix of the pool re-ranked so far.
+func (e *ETEngine) TieredKNNInto(done <-chan struct{}, q []float32, k int, opt TieredOpts, dst []hnsw.Neighbor) ([]hnsw.Neighbor, TieredStats) {
+	nn, st, _ := e.tieredKNN(done, q, k, opt, dst, nil)
+	return nn, st
+}
+
+// TieredKNNPool is TieredKNNInto additionally appending the re-ranked pool
+// ids (in stage-2 visit order) into pool[:0] — the observable the
+// monotone-pool property tests and the experiment harness use.
+func (e *ETEngine) TieredKNNPool(done <-chan struct{}, q []float32, k int, opt TieredOpts, dst []hnsw.Neighbor, pool []uint32) ([]hnsw.Neighbor, TieredStats, []uint32) {
+	if pool == nil {
+		pool = make([]uint32, 0, e.store.Len())
+	}
+	return e.tieredKNN(done, q, k, opt, dst, pool[:0])
+}
+
+func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt TieredOpts, dst []hnsw.Neighbor, pool []uint32) ([]hnsw.Neighbor, TieredStats, []uint32) {
+	budget := opt.Budget
+	if budget <= 0 || budget > 1 {
+		budget = 1
+	}
+	limit := e.store.Layout.LinesPerVector() - 1
+	maxLines := opt.MaxBoundLines
+	if maxLines == 0 {
+		maxLines = e.store.slotLines / 2
+		if maxLines > 4 {
+			maxLines = 4
+		}
+		if maxLines < 1 {
+			maxLines = 1
+		}
+	}
+	if maxLines < 0 || maxLines > limit {
+		maxLines = limit
+	}
+
+	var st TieredStats
+	e.StartQuery(q)
+	n := uint32(e.store.Len())
+
+	// Stage 1: bound-only scan. tierHeap tracks the k smallest bounds seen
+	// so far; its top is the refinement stop — once an id's bound exceeds
+	// it, the id cannot rank among the k best bounds, so further lines
+	// would only tighten an already-sufficient ordering key.
+	bh := &e.tierHeap
+	bh.Reset()
+	entries := e.tierEntries[:0]
+	for id := uint32(0); id < n; id++ {
+		if done != nil && id%knnCancelStride == 0 {
+			if exactScanTestHook != nil {
+				exactScanTestHook(id)
+			}
+			select {
+			case <-done:
+				e.tierEntries = entries[:0]
+				st.Cancelled = true
+				return dst[:0], st, pool
+			default:
+			}
+		}
+		stopAt := math.Inf(1)
+		if bh.Len() >= k {
+			stopAt = bh.Top().Dist
+		}
+		var lb float64
+		var lines int
+		data := e.store.slot(id)
+		if e.ob != nil && e.store.isOutlier[int(id)] {
+			e.ob.Reset()
+			lb, lines = e.ob.RunBound(data, stopAt, maxLines)
+		} else {
+			e.b.Reset()
+			lb, lines = e.b.RunBound(data, stopAt, maxLines)
+		}
+		st.BoundLines += lines
+		if bh.Len() < k {
+			bh.Push(hnsw.Neighbor{ID: id, Dist: lb})
+		} else if t := bh.Top(); lb < t.Dist || (lb == t.Dist && id < t.ID) {
+			bh.Push(hnsw.Neighbor{ID: id, Dist: lb})
+			bh.Pop()
+		}
+		entries = append(entries, boundEntry{lb: lb, id: id})
+	}
+	e.tierEntries = entries
+
+	// Stage 2: exact re-rank in ascending-bound order with the adaptive
+	// cut. Same Compare/heap/tie-break semantics as ExactKNN, so the
+	// results over the visited pool are byte-identical to an exact scan of
+	// those ids.
+	heapifyEntries(entries)
+	kh := &e.knnHeap
+	kh.Reset()
+	pops := 0
+	for len(entries) > 0 {
+		ent := entries[0]
+		if kh.Len() >= k && ent.lb > rerankStop(kh.Top().Dist, budget) {
+			break
+		}
+		entries, ent = popEntry(entries)
+		if done != nil && pops%knnCancelStride == 0 {
+			if exactScanTestHook != nil {
+				exactScanTestHook(ent.id)
+			}
+			select {
+			case <-done:
+				st.Cancelled = true
+			default:
+			}
+			if st.Cancelled {
+				break
+			}
+		}
+		pops++
+		th := math.Inf(1)
+		if kh.Len() >= k {
+			th = kh.Top().Dist
+		}
+		r := e.Compare(ent.id, th)
+		st.RerankLines += r.TotalLines()
+		if kh.Len() < k {
+			kh.Push(hnsw.Neighbor{ID: ent.id, Dist: r.Dist})
+		} else if r.Accepted {
+			kh.Push(hnsw.Neighbor{ID: ent.id, Dist: r.Dist})
+			kh.Pop()
+		}
+		if pool != nil {
+			pool = append(pool, ent.id)
+		}
+		st.Pool++
+	}
+	e.tierEntries = e.tierEntries[:0]
+
+	m := kh.Len()
+	if cap(dst) < m {
+		dst = make([]hnsw.Neighbor, m)
+	} else {
+		dst = dst[:m]
+	}
+	for i := m - 1; i >= 0; i-- {
+		dst[i] = kh.Pop()
+	}
+	return dst, st, pool
+}

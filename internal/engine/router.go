@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Route identifies one whole-query execution path. The router grew out of
+// the Resilient per-comparison fallback seed: where Resilient degrades one
+// comparison at a time, the Router moves entire queries between the
+// NDP-sim beam path, the tiered bound-first/exact-rerank pipeline, and the
+// CPU exact scan, based on deadline slack, load, and rank health.
+type Route int32
+
+const (
+	// RouteAuto lets the router decide.
+	RouteAuto Route = iota
+	// RouteNDP is the default approximate beam search over the NDP-sim
+	// engine — the cheapest path.
+	RouteNDP
+	// RouteTiered is the two-stage bound-first/exact-rerank pipeline:
+	// exact answers (at Budget 1) at a fraction of the exact scan's cost.
+	RouteTiered
+	// RouteExact is the CPU exact ET scan — the fallback of last resort,
+	// correct regardless of the bound machinery's health.
+	RouteExact
+	numRoutes
+)
+
+var routeNames = [...]string{"auto", "ndp", "tiered", "exact"}
+
+// String names the route (stable, used as wire values by the serve layer).
+func (r Route) String() string {
+	if r < 0 || int(r) >= len(routeNames) {
+		return fmt.Sprintf("Route(%d)", int(r))
+	}
+	return routeNames[r]
+}
+
+// ParseRoute maps a wire mode string to a Route. The empty string means
+// RouteNDP (the historical default path); "auto" engages the router.
+func ParseRoute(s string) (Route, error) {
+	switch s {
+	case "":
+		return RouteNDP, nil
+	case "auto":
+		return RouteAuto, nil
+	case "ndp":
+		return RouteNDP, nil
+	case "tiered":
+		return RouteTiered, nil
+	case "exact":
+		return RouteExact, nil
+	}
+	return RouteAuto, fmt.Errorf("engine: unknown route mode %q", s)
+}
+
+// NoDeadline is the Decide slack sentinel for a query without a deadline.
+const NoDeadline = time.Duration(-1)
+
+// RouterConfig tunes the routing policy.
+type RouterConfig struct {
+	// SafetyFactor multiplies a route's EWMA cost estimate when checking
+	// it against deadline slack (default 2): the tiered path is chosen
+	// only when the slack covers SafetyFactor× its recent cost.
+	SafetyFactor float64
+	// Alpha is the EWMA smoothing factor for per-route cost estimates
+	// (default 0.2).
+	Alpha float64
+	// LoadHighWater is the in-flight query count at which auto routing
+	// sheds to the cheapest path regardless of slack (default 64).
+	LoadHighWater int64
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.SafetyFactor <= 0 {
+		c.SafetyFactor = 2
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.LoadHighWater <= 0 {
+		c.LoadHighWater = 64
+	}
+	return c
+}
+
+// Router decides per-query routes and tracks per-route cost and counters.
+// All methods are safe for concurrent use and allocation-free.
+type Router struct {
+	cfg RouterConfig
+	// degraded reports how many NDP ranks are currently degraded (breaker
+	// not closed); nil means never degraded. Degraded ranks divert auto
+	// queries to the exact path: both the beam engine and the tiered
+	// stage-1 bounders model the same NDP-side machinery, so neither is
+	// trusted while ranks are faulting.
+	degraded func() int
+
+	inflight atomic.Int64
+	routed   [numRoutes]atomic.Uint64
+	diverted atomic.Uint64            // auto decisions forced to exact by degraded ranks
+	costNs   [numRoutes]atomic.Uint64 // EWMA cost per route; 0 = no observation yet
+}
+
+// NewRouter builds a router; degraded may be nil.
+func NewRouter(cfg RouterConfig, degraded func() int) *Router {
+	return &Router{cfg: cfg.withDefaults(), degraded: degraded}
+}
+
+// Begin marks one routed query in flight.
+func (r *Router) Begin() { r.inflight.Add(1) }
+
+// End releases Begin.
+func (r *Router) End() { r.inflight.Add(-1) }
+
+// InFlight reports the current routed-query concurrency.
+func (r *Router) InFlight() int64 { return r.inflight.Load() }
+
+// Decide picks a concrete route for an auto query. slack is the remaining
+// deadline budget (NoDeadline when the query has none); hasTiered reports
+// whether the backend has the bound machinery (Base designs do not).
+//
+// Policy: degraded ranks force the exact path (the chaos-tested
+// degradation: tiered → exact under NDP faults, never an unstable mix).
+// Otherwise the router picks the highest-quality route that fits: the
+// tiered pipeline (exact answers) when the slack covers SafetyFactor× its
+// recent cost — or unconditionally when there is no deadline — and the
+// cheap approximate beam path under deadline pressure or load.
+func (r *Router) Decide(slack time.Duration, hasTiered bool) Route {
+	if r.degraded != nil && r.degraded() > 0 {
+		r.diverted.Add(1)
+		return RouteExact
+	}
+	if !hasTiered {
+		return RouteNDP
+	}
+	if r.inflight.Load() >= r.cfg.LoadHighWater {
+		return RouteNDP
+	}
+	if slack < 0 {
+		return RouteTiered
+	}
+	est := r.CostNs(RouteTiered)
+	if est == 0 || float64(slack) >= r.cfg.SafetyFactor*float64(est) {
+		return RouteTiered
+	}
+	return RouteNDP
+}
+
+// Record counts one query executed on route.
+func (r *Router) Record(route Route) {
+	if route > RouteAuto && route < numRoutes {
+		r.routed[route].Add(1)
+	}
+}
+
+// Observe folds one query's duration into route's EWMA cost estimate.
+func (r *Router) Observe(route Route, d time.Duration) {
+	if route <= RouteAuto || route >= numRoutes {
+		return
+	}
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	c := &r.costNs[route]
+	for {
+		old := c.Load()
+		nw := ns
+		if old != 0 {
+			f := (1-r.cfg.Alpha)*float64(old) + r.cfg.Alpha*float64(ns)
+			nw = uint64(math.Max(f, 1))
+		}
+		if c.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// CostNs returns route's EWMA cost estimate in nanoseconds (0 before the
+// first observation).
+func (r *Router) CostNs(route Route) uint64 {
+	if route <= RouteAuto || route >= numRoutes {
+		return 0
+	}
+	return r.costNs[route].Load()
+}
+
+// RouterSnapshot is a plain-value copy of the router's counters.
+type RouterSnapshot struct {
+	NDP, Tiered, Exact uint64 // queries executed per route
+	Diverted           uint64 // auto decisions forced to exact by degraded ranks
+	InFlight           int64
+	CostNs             map[string]uint64 // per-route EWMA cost (observed routes only)
+}
+
+// Snapshot copies the current counters.
+func (r *Router) Snapshot() RouterSnapshot {
+	s := RouterSnapshot{
+		NDP:      r.routed[RouteNDP].Load(),
+		Tiered:   r.routed[RouteTiered].Load(),
+		Exact:    r.routed[RouteExact].Load(),
+		Diverted: r.diverted.Load(),
+		InFlight: r.inflight.Load(),
+		CostNs:   map[string]uint64{},
+	}
+	for route := RouteNDP; route < numRoutes; route++ {
+		if c := r.costNs[route].Load(); c != 0 {
+			s.CostNs[route.String()] = c
+		}
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRoute(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Route
+		err  bool
+	}{
+		{"", RouteNDP, false},
+		{"auto", RouteAuto, false},
+		{"ndp", RouteNDP, false},
+		{"tiered", RouteTiered, false},
+		{"exact", RouteExact, false},
+		{"fast", 0, true},
+		{"NDP", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRoute(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseRoute(%q) err=%v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseRoute(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, r := range []Route{RouteAuto, RouteNDP, RouteTiered, RouteExact} {
+		if r != RouteAuto {
+			back, err := ParseRoute(r.String())
+			if err != nil || back != r {
+				t.Fatalf("round-trip %v: %v, %v", r, back, err)
+			}
+		}
+	}
+	if Route(99).String() == "" {
+		t.Fatal("out-of-range route must still stringify")
+	}
+}
+
+func TestDecidePolicy(t *testing.T) {
+	degraded := 0
+	r := NewRouter(RouterConfig{SafetyFactor: 2, LoadHighWater: 4}, func() int { return degraded })
+
+	// No deadline, healthy, idle: the highest-quality path.
+	if got := r.Decide(NoDeadline, true); got != RouteTiered {
+		t.Fatalf("idle no-deadline: %v", got)
+	}
+	// No bound machinery: the default beam path.
+	if got := r.Decide(NoDeadline, false); got != RouteNDP {
+		t.Fatalf("no tiered machinery: %v", got)
+	}
+	// No cost estimate yet: optimistic tiered even under a deadline.
+	if got := r.Decide(time.Millisecond, true); got != RouteTiered {
+		t.Fatalf("no estimate: %v", got)
+	}
+
+	// With an estimate, slack gates the choice at SafetyFactor x cost.
+	r.Observe(RouteTiered, time.Millisecond)
+	if got := r.Decide(10*time.Millisecond, true); got != RouteTiered {
+		t.Fatalf("ample slack: %v", got)
+	}
+	if got := r.Decide(time.Millisecond, true); got != RouteNDP {
+		t.Fatalf("tight slack: %v", got)
+	}
+	if got := r.Decide(0, true); got != RouteNDP {
+		t.Fatalf("expired slack: %v", got)
+	}
+
+	// Load above the high-water mark sheds to the cheap path.
+	for i := 0; i < 4; i++ {
+		r.Begin()
+	}
+	if got := r.Decide(NoDeadline, true); got != RouteNDP {
+		t.Fatalf("loaded: %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		r.End()
+	}
+
+	// Degraded NDP ranks divert everything to the exact path.
+	degraded = 2
+	if got := r.Decide(NoDeadline, true); got != RouteExact {
+		t.Fatalf("degraded: %v", got)
+	}
+	if got := r.Decide(time.Nanosecond, false); got != RouteExact {
+		t.Fatalf("degraded overrides everything: %v", got)
+	}
+	if s := r.Snapshot(); s.Diverted != 2 {
+		t.Fatalf("diverted counter: %+v", s)
+	}
+}
+
+func TestObserveEWMA(t *testing.T) {
+	r := NewRouter(RouterConfig{Alpha: 0.5}, nil)
+	if r.CostNs(RouteTiered) != 0 {
+		t.Fatal("cost before any observation")
+	}
+	r.Observe(RouteTiered, 1000*time.Nanosecond)
+	if got := r.CostNs(RouteTiered); got != 1000 {
+		t.Fatalf("first observation seeds directly: %d", got)
+	}
+	r.Observe(RouteTiered, 2000*time.Nanosecond)
+	if got := r.CostNs(RouteTiered); got != 1500 {
+		t.Fatalf("EWMA(0.5) of 1000,2000: %d", got)
+	}
+	// Invalid routes are ignored.
+	r.Observe(RouteAuto, time.Second)
+	r.Observe(Route(17), time.Second)
+	if r.CostNs(RouteAuto) != 0 || r.CostNs(Route(17)) != 0 {
+		t.Fatal("invalid routes must not record cost")
+	}
+}
+
+func TestRouterSnapshotAndConcurrency(t *testing.T) {
+	r := NewRouter(RouterConfig{}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Begin()
+				r.Record(RouteTiered)
+				r.Observe(RouteTiered, time.Duration(i+1)*time.Microsecond)
+				r.Decide(NoDeadline, true)
+				r.End()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Tiered != 1600 || s.InFlight != 0 {
+		t.Fatalf("snapshot after concurrent use: %+v", s)
+	}
+	if s.CostNs["tiered"] == 0 {
+		t.Fatalf("no cost estimate surfaced: %+v", s)
+	}
+}

@@ -151,6 +151,49 @@ func TestFig08Shape(t *testing.T) {
 	}
 }
 
+func TestFigTieredFrontierShape(t *testing.T) {
+	tab := testRunner.FigTieredFrontier()
+	exactLines := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] == "exact" {
+			exactLines[row[0]] = parseF(t, row[4])
+			if rec := parseF(t, row[3]); rec != 1 {
+				t.Errorf("%s exact scan recall %v != 1", row[0], rec)
+			}
+		}
+	}
+	prevRec := map[string]float64{}
+	prevPool := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] != "tiered" {
+			continue
+		}
+		name := row[0]
+		rec, pool := parseF(t, row[3]), parseF(t, row[5])
+		// Recall and pool size are monotone in the budget (rows are emitted
+		// in ascending budget order).
+		if p, ok := prevRec[name]; ok && rec < p {
+			t.Errorf("%s: tiered recall fell %v -> %v with a larger budget", name, p, rec)
+		}
+		if p, ok := prevPool[name]; ok && pool < p {
+			t.Errorf("%s: tiered pool shrank %v -> %v with a larger budget", name, p, pool)
+		}
+		prevRec[name], prevPool[name] = rec, pool
+		if row[2] == "B=1.00" {
+			if rec != 1 {
+				t.Errorf("%s: tiered B=1 recall %v != 1 (losslessness)", name, rec)
+			}
+			if lines := parseF(t, row[4]); lines >= exactLines[name] {
+				t.Errorf("%s: tiered B=1 lines/query %v not below exact scan %v",
+					name, lines, exactLines[name])
+			}
+		}
+	}
+	if len(prevRec) != 2 || len(exactLines) != 2 {
+		t.Fatalf("missing datasets: tiered=%v exact=%v", prevRec, exactLines)
+	}
+}
+
 func TestFig09Shape(t *testing.T) {
 	tab := testRunner.Fig09()
 	if len(tab.Rows) != 4 {
@@ -348,6 +391,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"Fig10", (*Runner).Fig10},
 		{"Fig11", (*Runner).Fig11},
 		{"Fig12", (*Runner).Fig12},
+		{"FigTieredFrontier", (*Runner).FigTieredFrontier},
 		{"Table3", (*Runner).Table3},
 		{"Table4", (*Runner).Table4},
 		{"Table5", (*Runner).Table5},

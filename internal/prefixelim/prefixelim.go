@@ -393,6 +393,28 @@ func (b *OutlierBounder) LB() float64 {
 	return -b.sum
 }
 
+// RunBound consumes lines until the bound exceeds stopAt or maxLines lines
+// have been consumed, returning the bound and lines fetched — the stage-1
+// bound-only primitive of the tiered pipeline. Unlike the normal bit-plane
+// path, even a fully consumed outlier encoding yields only a lower bound
+// (the encoding is lossy), so no line needs to be held back; what RunBound
+// guarantees is that the full-precision backup is never fetched. maxLines
+// < 0 disables the cap.
+func (b *OutlierBounder) RunBound(data []byte, stopAt float64, maxLines int) (lb float64, lines int) {
+	limit := b.lines
+	if maxLines >= 0 && maxLines < limit {
+		limit = maxLines
+	}
+	for b.next < limit {
+		i := b.next
+		lb = b.ConsumeNext(data[i*bitplane.LineBytes : (i+1)*bitplane.LineBytes])
+		if lb > stopAt {
+			return lb, b.next
+		}
+	}
+	return b.LB(), b.next
+}
+
 // RunET consumes lines until the bound exceeds the threshold or the vector
 // is exhausted, returning the final bound and lines fetched. Because the
 // encoding is lossy, a non-terminated result is only a lower bound: callers

@@ -30,6 +30,10 @@ type Outcome struct {
 	Partial   bool
 	Faults    []string
 	Hedged    int
+	// Route names the query path actually taken ("ndp", "tiered", "exact")
+	// when the backend routes queries; empty otherwise. Echoed to clients
+	// in the RouteHeader and counted per route in /debug/vars.
+	Route string
 }
 
 // OutcomeFunc is the sharded-backend search hook: like SearchFunc, but the
@@ -39,11 +43,21 @@ type Outcome struct {
 // one.
 type OutcomeFunc func(ctx context.Context, q []float32, k, ef int) (Outcome, error)
 
+// RoutedFunc is the route-aware search hook, used for requests that name a
+// "mode" ("auto", "ndp", "tiered", "exact"). mode is pre-validated by the
+// handler; the Outcome's Route field should report the path actually taken.
+type RoutedFunc func(ctx context.Context, q []float32, k, ef int, mode string) (Outcome, error)
+
 // PartialHeader marks responses assembled from a degraded backend (one or
 // more shards missing from the merge). Clients that require complete
 // answers should retry on it; clients that prefer fast approximate answers
 // can accept the body as-is.
 const PartialHeader = "X-ANSMET-Partial"
+
+// RouteHeader names the query path a routed search actually took ("ndp",
+// "tiered", "exact"), set whenever the backend reports one. Clients using
+// "mode":"auto" read it to learn what the router decided.
+const RouteHeader = "X-ANSMET-Route"
 
 // Config wires a Server.
 type Config struct {
@@ -52,6 +66,11 @@ type Config struct {
 	// SearchOutcome, when set, takes precedence over Search and lets a
 	// sharded backend report partial-result degradation per query.
 	SearchOutcome OutcomeFunc
+	// SearchRouted, when set, serves requests that carry a "mode" field
+	// (route selection). Requests naming a mode on a server without it get
+	// HTTP 400; requests without a mode always use SearchOutcome/Search, so
+	// wiring SearchRouted changes nothing for existing clients.
+	SearchRouted RoutedFunc
 	// ExtraVars, when set, contributes additional top-level sections to
 	// /debug/vars (e.g. cluster shard health). Keys must not collide with
 	// the built-in "serve"/"admission"/"goroutines"/"draining" sections;
@@ -127,6 +146,25 @@ type Metrics struct {
 	Internal      atomic.Int64 // other 500s
 	InFlight      atomic.Int64 // searches running right now
 	Partials      atomic.Int64 // 200s served with a degraded (partial) merge
+
+	// Per-route counters for routed searches, keyed by the Outcome.Route
+	// the backend reported.
+	RoutedNDP    atomic.Int64
+	RoutedTiered atomic.Int64
+	RoutedExact  atomic.Int64
+}
+
+// countRoute bumps the counter for a reported route name; unknown names
+// (including "") are ignored.
+func (m *Metrics) countRoute(route string) {
+	switch route {
+	case "ndp":
+		m.RoutedNDP.Add(1)
+	case "tiered":
+		m.RoutedTiered.Add(1)
+	case "exact":
+		m.RoutedExact.Add(1)
+	}
 }
 
 // SearchRequest is the /v1/search JSON body.
@@ -137,6 +175,10 @@ type SearchRequest struct {
 	// TimeoutMs overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Mode selects the query execution path: "auto" (deadline-aware
+	// routing), "ndp", "tiered", or "exact". Empty uses the server's
+	// default path. Requires a route-aware backend (Config.SearchRouted).
+	Mode string `json:"mode,omitempty"`
 	// Panic triggers the chaos panic probe (only honored when
 	// Config.AllowPanicProbe is set).
 	Panic bool `json:"panic,omitempty"`
@@ -348,6 +390,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				len(req.Query), k, ef, s.cfg.MaxK, s.cfg.MaxEf)})
 		return
 	}
+	switch req.Mode {
+	case "", "auto", "ndp", "tiered", "exact":
+	default:
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{
+			Error: fmt.Sprintf("unknown mode %q (want auto, ndp, tiered or exact)", req.Mode)})
+		return
+	}
+	if req.Mode != "" && s.cfg.SearchRouted == nil {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{
+			Error: "mode selection is not supported by this server"})
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -364,12 +420,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.InFlight.Add(1)
 	var out Outcome
-	if s.cfg.SearchOutcome != nil {
+	switch {
+	case req.Mode != "":
+		out, err = s.cfg.SearchRouted(ctx, req.Query, k, ef, req.Mode)
+	case s.cfg.SearchOutcome != nil:
 		out, err = s.cfg.SearchOutcome(ctx, req.Query, k, ef)
-	} else {
+	default:
 		out.Neighbors, err = s.cfg.Search(ctx, req.Query, k, ef)
 	}
 	s.metrics.InFlight.Add(-1)
+	if out.Route != "" {
+		// Routed query: tell the client which path ran (meaningful even on
+		// a 504 partial) and count it.
+		w.Header().Set(RouteHeader, out.Route)
+		s.metrics.countRoute(out.Route)
+	}
 
 	switch {
 	case err == nil:
@@ -468,6 +533,11 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"canceled_wait": adm.CanceledWait,
 			"running":       adm.Running,
 			"queued":        adm.Queued,
+		},
+		"routes": map[string]int64{
+			"ndp":    m.RoutedNDP.Load(),
+			"tiered": m.RoutedTiered.Load(),
+			"exact":  m.RoutedExact.Load(),
 		},
 		"goroutines": runtime.NumGoroutine(),
 		"draining":   s.draining.Load(),

@@ -370,3 +370,94 @@ func TestVarsExtraSections(t *testing.T) {
 		t.Fatalf("built-in serve section clobbered by ExtraVars: %s", w.Body)
 	}
 }
+
+// --- mode / routed search ------------------------------------------------
+
+// routedOK echoes the resolved mode as the taken route ("auto" resolves to
+// "tiered" — a stand-in for the router's healthy-idle decision).
+func routedOK(ctx context.Context, q []float32, k, ef int, mode string) (Outcome, error) {
+	route := mode
+	if route == "auto" {
+		route = "tiered"
+	}
+	nn, _ := okSearch(ctx, q, k, ef)
+	return Outcome{Neighbors: nn, Route: route}, nil
+}
+
+func TestSearchModeRouted(t *testing.T) {
+	s := newTestServer(t, Config{SearchRouted: routedOK})
+	for _, c := range []struct{ mode, wantRoute string }{
+		{"ndp", "ndp"}, {"tiered", "tiered"}, {"exact", "exact"}, {"auto", "tiered"},
+	} {
+		w := postSearch(s, `{"query":[1,2],"k":3,"mode":"`+c.mode+`"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("mode %q: status %d, body %s", c.mode, w.Code, w.Body)
+		}
+		if got := w.Header().Get(RouteHeader); got != c.wantRoute {
+			t.Fatalf("mode %q: route header %q, want %q", c.mode, got, c.wantRoute)
+		}
+		if resp := decodeResp(t, w); len(resp.Results) != 3 {
+			t.Fatalf("mode %q: %+v", c.mode, resp)
+		}
+	}
+	m := s.Metrics()
+	if m.RoutedNDP.Load() != 1 || m.RoutedTiered.Load() != 2 || m.RoutedExact.Load() != 1 {
+		t.Fatalf("route counters: ndp=%d tiered=%d exact=%d",
+			m.RoutedNDP.Load(), m.RoutedTiered.Load(), m.RoutedExact.Load())
+	}
+}
+
+func TestSearchModeEmptyUsesDefaultPath(t *testing.T) {
+	// With both hooks wired, a request without a mode must take the plain
+	// path (routing is strictly opt-in) and carry no route header.
+	called := false
+	s := newTestServer(t, Config{
+		SearchRouted: func(ctx context.Context, q []float32, k, ef int, mode string) (Outcome, error) {
+			called = true
+			return routedOK(ctx, q, k, ef, mode)
+		},
+	})
+	w := postSearch(s, `{"query":[1,2],"k":3}`)
+	if w.Code != http.StatusOK || called {
+		t.Fatalf("status %d, routed-hook called=%v", w.Code, called)
+	}
+	if got := w.Header().Get(RouteHeader); got != "" {
+		t.Fatalf("unexpected route header %q", got)
+	}
+}
+
+func TestSearchModeValidation(t *testing.T) {
+	s := newTestServer(t, Config{SearchRouted: routedOK})
+	w := postSearch(s, `{"query":[1,2],"k":3,"mode":"warp"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400", w.Code)
+	}
+
+	// A server without a routed backend rejects any mode with 400.
+	plain := newTestServer(t, Config{})
+	w = postSearch(plain, `{"query":[1,2],"k":3,"mode":"tiered"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("mode without SearchRouted: status %d, want 400", w.Code)
+	}
+	if resp := decodeResp(t, w); resp.Error == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestVarsRouteCounters(t *testing.T) {
+	s := newTestServer(t, Config{SearchRouted: routedOK})
+	postSearch(s, `{"query":[1],"k":1,"mode":"exact"}`)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	routes, ok := vars["routes"].(map[string]any)
+	if !ok {
+		t.Fatalf("no routes section in vars: %v", vars)
+	}
+	if routes["exact"].(float64) != 1 {
+		t.Fatalf("routes section: %v", routes)
+	}
+}
