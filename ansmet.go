@@ -40,6 +40,7 @@ import (
 	"ansmet/internal/dataset"
 	"ansmet/internal/engine"
 	"ansmet/internal/hnsw"
+	"ansmet/internal/precision"
 	"ansmet/internal/vecmath"
 )
 
@@ -162,7 +163,21 @@ type Options struct {
 	// out-of-range value) means 1: the provably exact cut. Smaller values
 	// trade a recall guarantee of roughly this level for a smaller exact
 	// re-rank pool (see DESIGN.md, "Tiered pipeline and query routing").
+	// Ignored when RecallTarget is set — the tuner owns the budget then.
 	TieredBudget float64
+
+	// RecallTarget, when in (0, 1), replaces hand-set fetch-depth knobs
+	// with adaptive mixed-precision search (DESIGN.md, "Adaptive
+	// precision"): a per-partition minimum plane depth derived from
+	// cluster radius statistics at build time, per-query escalation where
+	// the top-k margin is tight, and an EWMA-calibrated tuner that steers
+	// the tiered cut budget and fetch depth toward the target from the
+	// observed bound distribution. 0 disables the machinery entirely, and
+	// 1 ("exact recall") is defined as the same thing — both are
+	// byte-identical to the fixed-depth search. Values outside [0, 1] are
+	// rejected by New. Only ET designs honor the knob (Base designs have
+	// no bound machinery to adapt).
+	RecallTarget float64
 
 	// Advanced exposes every platform knob; leave nil for defaults. When
 	// set, its Design field is overridden by Options.Design.
@@ -197,6 +212,9 @@ type Database struct {
 	vectors [][]float32
 	sys     *core.System
 	router  *engine.Router
+	// tuner is the recall-target calibration state; nil unless
+	// Options.RecallTarget enabled adaptive mixed-precision.
+	tuner *precision.Tuner
 
 	scratchPool sync.Pool // *searchScratch
 }
@@ -223,6 +241,15 @@ func (db *Database) getScratch() *searchScratch {
 			eng: db.sys.NewWorkerEngine(),
 		}
 	}
+	if db.tuner != nil {
+		// Refresh the adaptive-precision beam mode from the tuner's current
+		// calibration (two atomic loads). Resilience-wrapped engines skip it:
+		// their fallback contract is exact distances. ExactKNN and the tiered
+		// stage-2 re-rank ignore the mode by construction.
+		if et, ok := s.eng.(*core.ETEngine); ok {
+			et.SetPrecision(db.sys.Precision, db.tuner.DepthBias(), db.tuner.Margin())
+		}
+	}
 	return s
 }
 
@@ -242,6 +269,9 @@ func (s *searchScratch) quantize(q []float32, elem ElemType) []float32 {
 func New(vectors [][]float32, opts Options) (*Database, error) {
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("ansmet: empty dataset")
+	}
+	if opts.RecallTarget < 0 || opts.RecallTarget > 1 {
+		return nil, fmt.Errorf("ansmet: RecallTarget %v outside [0, 1]", opts.RecallTarget)
 	}
 	opts.fill()
 	dim := len(vectors[0])
@@ -271,12 +301,23 @@ func New(vectors [][]float32, opts Options) (*Database, error) {
 		cfg = core.DefaultSystemConfig(*opts.Design)
 	}
 	cfg.Seed = opts.Seed
+	if opts.RecallTarget != 0 {
+		cfg.RecallTarget = opts.RecallTarget
+	}
 	sys, err := core.NewSystem(quant, opts.Elem, opts.Metric, ix, cfg)
 	if err != nil {
 		return nil, err
 	}
 	db := &Database{opts: opts, vectors: quant, sys: sys}
 	db.router = engine.NewRouter(engine.RouterConfig{}, db.degradedRanks)
+	if sys.Precision != nil {
+		db.tuner = precision.NewTuner(cfg.RecallTarget)
+		// Feed the target into the router's cost model: at matched recall
+		// the adaptive tiered path costs roughly target× its exact-budget
+		// observations, so pre-bias Decide accordingly until the EWMA
+		// catches up.
+		db.router.SetCostScale(RouteTiered, db.tuner.Target())
+	}
 	return db, nil
 }
 
@@ -546,7 +587,8 @@ func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef,
 						qq := s.quantize(queries[i], db.opts.Elem)
 						if route == RouteTiered {
 							var st core.TieredStats
-							s.buf, st = et.TieredKNNInto(done, qq, k, core.TieredOpts{Budget: db.tieredBudget()}, s.buf)
+							s.buf, st = et.TieredKNNInto(done, qq, k, db.tieredOpts(0), s.buf)
+							db.observeTiered(k, st)
 							if st.Cancelled {
 								cancelled.Store(true)
 								stop.Store(true)
@@ -608,6 +650,13 @@ type Stats struct {
 	SpaceSavedPercent float64
 	PreprocessSeconds float64
 
+	// Adaptive mixed-precision (zero unless Options.RecallTarget enabled
+	// it): the target, the static map's partition count and its
+	// population-mean minimum fetch depth in lines.
+	RecallTarget      float64
+	PrecisionClusters int
+	MeanDepthLines    float64
+
 	// Resilience counters (zero unless Advanced.Fault or
 	// Advanced.Resilience.Enabled was set): lifetime totals across all
 	// searches on this database.
@@ -632,6 +681,13 @@ func (db *Database) Stats() Stats {
 		s.PrefixBits = st.Prefix.PrefixLen
 		s.Outliers = st.NumOutliers()
 		s.SpaceSavedPercent = st.SpaceSavedFraction() * 100
+	}
+	if db.tuner != nil {
+		s.RecallTarget = db.tuner.Target()
+		if pm := db.sys.Precision; pm != nil {
+			s.PrecisionClusters = pm.Clusters
+			s.MeanDepthLines = pm.MeanLines()
+		}
 	}
 	if c := db.sys.Faults; c != nil {
 		snap := c.Snapshot()

@@ -277,7 +277,7 @@ func shardSearchFunc(db *Database, ids []uint32) cluster.ShardFunc {
 		var err error
 		switch routeFrom(ctx) {
 		case RouteTiered:
-			out, _, err = db.TieredSearchCtxInto(ctx, q, k, 0, dst)
+			out, _, err = db.TieredSearchCtxInto(ctx, q, k, tieredBudgetFrom(ctx), dst)
 		case RouteExact:
 			out, _, err = db.ExactSearchCtx(ctx, q, k)
 		default:
@@ -380,7 +380,16 @@ func (c *Cluster) SearchRouted(ctx context.Context, q []float32, k, ef int, mode
 	if route == RouteTiered && lead.sys.Store == nil {
 		route = RouteExact
 	}
-	res, err := c.SearchEfCtxInto(WithRoute(ctx, route), q, k, ef, nil)
+	ctx = WithRoute(ctx, route)
+	if route == RouteTiered && lead.adaptive() && tieredBudgetFrom(ctx) == 0 {
+		// Resolve the recall-target calibration once, on the lead shard —
+		// the same lead-resolution rule as routing: shard tuners calibrate
+		// independently, and a merge over mixed budgets would blend answer
+		// quality classes. An explicit budget already on the context (a
+		// per-request recall target from the serve layer) wins.
+		ctx = WithTieredBudget(ctx, lead.tuner.Budget())
+	}
+	res, err := c.SearchEfCtxInto(ctx, q, k, ef, nil)
 	lead.router.Record(route)
 	return res, route, err
 }
@@ -480,6 +489,13 @@ type ClusterStats struct {
 
 	// Shard holds each shard Database's own Stats.
 	Shard []Stats
+}
+
+// PrecisionStats reports the lead shard's adaptive-precision calibration —
+// the one SearchRouted resolves cluster-wide budgets from. Zero-valued
+// (Enabled false) when the build options did not set a RecallTarget.
+func (c *Cluster) PrecisionStats() PrecisionStats {
+	return c.shards[0].PrecisionStats()
 }
 
 // Stats reports the cluster's health counters.

@@ -63,6 +63,7 @@ func main() {
 		{"ablation-batch", r.AblationBeamBatch},
 		{"ablation-quant", r.AblationQuantization},
 		{"frontier", r.FigTieredFrontier},
+		{"precision", r.FigPrecisionFrontier},
 	}
 
 	want := map[string]bool{}

@@ -13,10 +13,14 @@
 // are deliberately loose: CI hardware differs from the machine that wrote
 // the baseline, so the ratio only catches order-of-magnitude regressions
 // (an accidentally de-vectorised kernel, a new allocation storm), not
-// percent-level drift. The baseline may be a benchgate -out report or a
-// BENCH_prN.json record (its "after" section is used). Names match exactly
-// first, then with the -GOMAXPROCS suffix stripped from both sides, so a
-// baseline written on an N-core machine gates a run on an M-core one.
+// percent-level drift. A baseline may be a benchgate -out report or a
+// BENCH_prN.json record (its "after" section is used). -baseline is
+// repeatable: benchmarks recorded across several PRs gate in one
+// invocation, files merge in argument order with later files winning
+// duplicate benchmark names, and every ratio reports which baseline file
+// it was checked against. Names match exactly first, then with the
+// -GOMAXPROCS suffix stripped from both sides, so a baseline written on an
+// N-core machine gates a run on an M-core one.
 //
 // The exit status is non-zero if any budget is exceeded or a budgeted
 // benchmark is missing from the input or baseline (a silently skipped gate
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -70,12 +75,26 @@ func (b budgetList) Set(s string) error {
 	return nil
 }
 
+// fileList is a repeatable file-path flag (-baseline).
+type fileList []string
+
+func (f *fileList) String() string { return strings.Join(*f, ",") }
+
+func (f *fileList) Set(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty path")
+	}
+	*f = append(*f, s)
+	return nil
+}
+
 func main() {
 	budgets := budgetList{}
 	nsRatios := budgetList{}
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	in := flag.String("in", "", "read benchmark output from this file instead of stdin")
-	baseline := flag.String("baseline", "", "baseline JSON (benchgate report or BENCH_prN record) for -max-ns-ratio")
+	var baselines fileList
+	flag.Var(&baselines, "baseline", "baseline JSON (benchgate report or BENCH_prN record) for -max-ns-ratio; repeatable, later files win duplicate names")
 	flag.Var(budgets, "max-allocs", "fail if benchmark Name exceeds N allocs/op (repeatable, Name=N; matches by prefix so sub-benchmarks are covered)")
 	flag.Var(nsRatios, "max-ns-ratio", "fail if benchmark Name ns/op exceeds R times the -baseline value (repeatable, Name=R; matches by prefix)")
 	flag.Parse()
@@ -133,10 +152,10 @@ func main() {
 		}
 	}
 	if len(nsRatios) > 0 {
-		if *baseline == "" {
+		if len(baselines) == 0 {
 			fatal(fmt.Errorf("-max-ns-ratio requires -baseline"))
 		}
-		base, err := loadBaseline(*baseline)
+		base, err := loadBaselines(baselines)
 		if err != nil {
 			fatal(err)
 		}
@@ -149,17 +168,18 @@ func main() {
 				matched = true
 				want, ok := baselineNs(base, b.Name)
 				if !ok {
-					fmt.Fprintf(os.Stderr, "benchgate: %s has no entry in baseline %s\n", b.Name, *baseline)
+					fmt.Fprintf(os.Stderr, "benchgate: %s has no entry in any baseline (%s)\n",
+						b.Name, strings.Join(baselines, ", "))
 					fail = true
 					continue
 				}
-				if got := b.NsPerOp / want; got > ratio {
-					fmt.Fprintf(os.Stderr, "benchgate: %s: %.0f ns/op is %.2fx baseline %.0f, budget %.2fx\n",
-						b.Name, b.NsPerOp, got, want, ratio)
+				if got := b.NsPerOp / want.ns; got > ratio {
+					fmt.Fprintf(os.Stderr, "benchgate: %s: %.0f ns/op is %.2fx baseline %.0f (%s), budget %.2fx\n",
+						b.Name, b.NsPerOp, got, want.ns, want.source, ratio)
 					fail = true
 				} else {
-					fmt.Printf("benchgate: %s: %.0f ns/op is %.2fx baseline %.0f, within %.2fx\n",
-						b.Name, b.NsPerOp, got, want, ratio)
+					fmt.Printf("benchgate: %s: %.0f ns/op is %.2fx baseline %.0f (%s), within %.2fx\n",
+						b.Name, b.NsPerOp, got, want.ns, want.source, ratio)
 				}
 			}
 			if !matched {
@@ -171,6 +191,31 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// baseEntry is one baseline ns/op value plus the file it came from, so the
+// gate can report which baseline each ratio was checked against.
+type baseEntry struct {
+	ns     float64
+	source string
+}
+
+// loadBaselines merges baseline files in argument order. Later files win
+// duplicate benchmark names — the natural layering when each BENCH_prN.json
+// re-records benchmarks an earlier PR introduced.
+func loadBaselines(paths []string) (map[string]baseEntry, error) {
+	merged := map[string]baseEntry{}
+	for _, p := range paths {
+		m, err := loadBaseline(p)
+		if err != nil {
+			return nil, err
+		}
+		src := filepath.Base(p)
+		for name, ns := range m {
+			merged[name] = baseEntry{ns: ns, source: src}
+		}
+	}
+	return merged, nil
 }
 
 // loadBaseline reads ns/op baselines from either a benchgate report
@@ -216,26 +261,26 @@ func loadBaseline(path string) (map[string]float64, error) {
 // baseline entries collapse to the same stripped name, the lookup fails and
 // the gate reports the benchmark as missing — keep baselines exact for such
 // names.
-func baselineNs(base map[string]float64, name string) (float64, bool) {
-	if ns, ok := base[name]; ok {
-		return ns, true
+func baselineNs(base map[string]baseEntry, name string) (baseEntry, bool) {
+	if e, ok := base[name]; ok {
+		return e, true
 	}
 	stripped := stripProcSuffix(name)
-	if ns, ok := base[stripped]; ok {
-		return ns, true
+	if e, ok := base[stripped]; ok {
+		return e, true
 	}
-	var found float64
+	var found baseEntry
 	matches := 0
-	for bn, ns := range base {
+	for bn, e := range base {
 		if stripProcSuffix(bn) == stripped {
-			found = ns
+			found = e
 			matches++
 		}
 	}
 	if matches == 1 {
 		return found, true
 	}
-	return 0, false
+	return baseEntry{}, false
 }
 
 // stripProcSuffix removes a trailing -N (N all digits) benchmark name

@@ -25,12 +25,12 @@ func TestStripProcSuffix(t *testing.T) {
 }
 
 func TestBaselineNs(t *testing.T) {
-	base := map[string]float64{
-		"BenchmarkSearchAllocs-4":             100,
-		"BenchmarkSimReplay":                  200,
-		"BenchmarkKernelImpls/SquaredL2/avx2": 50,
-		"BenchmarkKernels/cosine-128":         10,
-		"BenchmarkKernels/cosine-384":         30,
+	base := map[string]baseEntry{
+		"BenchmarkSearchAllocs-4":             {ns: 100, source: "a.json"},
+		"BenchmarkSimReplay":                  {ns: 200, source: "a.json"},
+		"BenchmarkKernelImpls/SquaredL2/avx2": {ns: 50, source: "b.json"},
+		"BenchmarkKernels/cosine-128":         {ns: 10, source: "b.json"},
+		"BenchmarkKernels/cosine-384":         {ns: 30, source: "b.json"},
 	}
 	cases := []struct {
 		name string
@@ -52,8 +52,11 @@ func TestBaselineNs(t *testing.T) {
 	}
 	for _, c := range cases {
 		got, ok := baselineNs(base, c.name)
-		if ok != c.ok || got != c.want {
-			t.Errorf("baselineNs(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		if ok != c.ok || got.ns != c.want {
+			t.Errorf("baselineNs(%q) = %v, %v; want %v, %v", c.name, got.ns, ok, c.want, c.ok)
+		}
+		if ok && got.source == "" {
+			t.Errorf("baselineNs(%q) lost its source file", c.name)
 		}
 	}
 }
@@ -108,5 +111,64 @@ func TestLoadBaselineShapes(t *testing.T) {
 	}
 	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing baseline file: want error")
+	}
+}
+
+// TestLoadBaselinesMerge: multiple -baseline files merge in argument
+// order, later files win duplicate benchmark names, and every entry
+// remembers which file supplied it.
+func TestLoadBaselinesMerge(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("BENCH_pr4.json", `{
+		"after": {
+			"BenchmarkSearchAllocs": {"ns_per_op": 100},
+			"BenchmarkSimReplay": {"ns_per_op": 500}
+		}
+	}`)
+	newer := write("BENCH_pr8.json", `{
+		"after": {
+			"BenchmarkSimReplay": {"ns_per_op": 250},
+			"BenchmarkTieredSearch": {"ns_per_op": 900}
+		}
+	}`)
+
+	base, err := loadBaselines([]string{old, newer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]baseEntry{
+		"BenchmarkSearchAllocs": {ns: 100, source: "BENCH_pr4.json"},
+		"BenchmarkSimReplay":    {ns: 250, source: "BENCH_pr8.json"}, // later file wins
+		"BenchmarkTieredSearch": {ns: 900, source: "BENCH_pr8.json"},
+	}
+	if len(base) != len(want) {
+		t.Fatalf("merged %d entries, want %d: %v", len(base), len(want), base)
+	}
+	for name, w := range want {
+		if got := base[name]; got != w {
+			t.Errorf("%s = %+v, want %+v", name, got, w)
+		}
+	}
+
+	// Reversed order flips the duplicate's winner.
+	base, err = loadBaselines([]string{newer, old})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkSimReplay"]; got != (baseEntry{ns: 500, source: "BENCH_pr4.json"}) {
+		t.Errorf("reversed merge: BenchmarkSimReplay = %+v, want the pr4 value", got)
+	}
+
+	// One unreadable file fails the whole merge — a silently skipped
+	// baseline is a silently skipped gate.
+	if _, err := loadBaselines([]string{old, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file in list: want error")
 	}
 }

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	ansmet-chaos [-scenario all|recoverable|crash|silent] [-n 400] [-q 8] [-seed 99]
+//	ansmet-chaos [-scenario all|recoverable|crash|silent|precision|...] [-n 400] [-q 8] [-seed 99]
 //
 // The process exits non-zero if any invariant is violated.
 package main
@@ -34,16 +34,16 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, serve, cluster, router")
+	scenario := flag.String("scenario", "all", "chaos scenario: all, recoverable, crash, silent, precision, serve, cluster, router")
 	n := flag.Int("n", 400, "dataset size")
 	nq := flag.Int("q", 8, "query count")
 	seed := flag.Uint64("seed", 99, "fault schedule seed")
 	flag.Parse()
 
 	switch *scenario {
-	case "all", "recoverable", "crash", "silent", "serve", "cluster", "router":
+	case "all", "recoverable", "crash", "silent", "precision", "serve", "cluster", "router":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent, serve, cluster or router)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q (want all, recoverable, crash, silent, precision, serve, cluster or router)\n", *scenario)
 		os.Exit(2)
 	}
 	if *n < 50 || *nq < 1 {
@@ -76,6 +76,11 @@ func main() {
 	if sel == "all" || sel == "silent" {
 		run("silent (stored-line bit flips, recall floor)", func() error {
 			return runSilent(*n, *nq, *seed)
+		})
+	}
+	if sel == "all" || sel == "precision" {
+		run("precision (adaptive mixed-precision under rank crash)", func() error {
+			return runPrecisionSoak(*n, *seed)
 		})
 	}
 	if sel == "all" || sel == "serve" {

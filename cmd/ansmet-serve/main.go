@@ -105,7 +105,24 @@ func main() {
 			out.Route = route.String()
 			return out, err
 		}
-		cfg.ExtraVars = func() map[string]any { return map[string]any{"cluster": cl.Stats()} }
+		cfg.SearchPrecision = func(ctx context.Context, q []float32, k, ef int, mode string, rt float64) (serve.Outcome, error) {
+			// A per-request recall target pins the tiered pipeline with its
+			// cut budget set to the target (1 = the provably exact cut); the
+			// explicit budget on the context overrides the lead shard's
+			// calibrated one for this query.
+			ctx = ansmet.WithTieredBudget(ctx, rt)
+			res, route, err := cl.SearchRouted(ctx, q, k, ef, ansmet.RouteTiered)
+			out := clusterOutcome(res)
+			out.Route = route.String()
+			return out, err
+		}
+		cfg.ExtraVars = func() map[string]any {
+			vars := map[string]any{"cluster": cl.Stats()}
+			if ps := cl.PrecisionStats(); ps.Enabled {
+				vars["precision"] = ps
+			}
+			return vars
+		}
 	} else {
 		db, err := openDatabase(*dbPath, *profile, *synth)
 		if err != nil {
@@ -124,7 +141,21 @@ func main() {
 			nn, route, err := db.SearchRouted(ctx, q, k, ef, r, nil)
 			return serve.Outcome{Neighbors: nn, Route: route.String()}, err
 		}
-		cfg.ExtraVars = func() map[string]any { return map[string]any{"router": db.RouterStats()} }
+		cfg.SearchPrecision = func(ctx context.Context, q []float32, k, ef int, mode string, rt float64) (serve.Outcome, error) {
+			// A per-request recall target pins the tiered pipeline with its
+			// cut budget set to the target (1 = the provably exact cut); on
+			// adaptive builds the static per-partition precision schedule
+			// still shapes stage-1.
+			nn, _, err := db.TieredSearchCtxInto(ctx, q, k, rt, nil)
+			return serve.Outcome{Neighbors: nn, Route: ansmet.RouteTiered.String()}, err
+		}
+		cfg.ExtraVars = func() map[string]any {
+			vars := map[string]any{"router": db.RouterStats()}
+			if ps := db.PrecisionStats(); ps.Enabled {
+				vars["precision"] = ps
+			}
+			return vars
+		}
 	}
 
 	srvCore, err := serve.New(cfg)

@@ -315,6 +315,29 @@ func (b *Bounder) RunBound(data []byte, stopAt float64, maxLines int) (lb float6
 	return b.LB(), b.nextLine
 }
 
+// RunETCapped is RunET with a fetch-depth cap: it consumes lines until the
+// bound exceeds the threshold, maxLines lines have been consumed, or the
+// vector is exhausted. Unlike RunBound it may fully fetch the vector (a
+// maxLines of at least LinesPerVector() makes it exactly RunET, so the
+// fully-fetched bound is the exact distance, bitwise). Like RunBound it is
+// resumable: calling it again with a larger cap continues from where the
+// previous call stopped — the escalation primitive of the adaptive
+// mixed-precision search. maxLines < 0 disables the cap.
+func (b *Bounder) RunETCapped(data []byte, threshold float64, maxLines int) (lb float64, lines int) {
+	limit := b.layout.LinesPerVector()
+	if maxLines >= 0 && maxLines < limit {
+		limit = maxLines
+	}
+	for b.nextLine < limit {
+		i := b.nextLine
+		lb = b.ConsumeNext(data[i*LineBytes : (i+1)*LineBytes])
+		if lb > threshold {
+			return lb, b.nextLine
+		}
+	}
+	return b.LB(), b.nextLine
+}
+
 // RunETLocal additionally tracks the stricter localThreshold used to model
 // per-rank local early termination under dimension partitioning (§5.3): it
 // returns the line position at which the bound exceeds localThreshold

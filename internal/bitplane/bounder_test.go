@@ -269,3 +269,54 @@ func TestConsumePastEndPanics(t *testing.T) {
 	}()
 	b.ConsumeNext(line)
 }
+
+// TestRunETCappedEscalationBitwiseExact: the adaptive-precision escalation
+// primitive — resuming RunETCapped with doubling caps until the vector is
+// exhausted — lands on a bound bitwise identical to a single uncapped run,
+// for every element type. The invariant the mixed-precision search leans
+// on: however a fully-fetched bound was reached, it IS the exact distance.
+func TestRunETCappedEscalationBitwiseExact(t *testing.T) {
+	r := stats.NewRNG(7)
+	for _, et := range []vecmath.ElemType{
+		vecmath.Uint8, vecmath.Int8, vecmath.Float16, vecmath.BFloat16, vecmath.Float32,
+	} {
+		for _, m := range []vecmath.Metric{vecmath.L2, vecmath.InnerProduct} {
+			dim := 80
+			l := MustLayout(et, dim, UniformSchedule(et, 0, 4))
+			total := l.LinesPerVector()
+			ref := NewBounder(l, m, 0)
+			esc := NewBounder(l, m, 0)
+			q := makeVec(r, et, dim)
+			ref.ResetQuery(q)
+			esc.ResetQuery(q)
+			for trial := 0; trial < 20; trial++ {
+				v := makeVec(r, et, dim)
+				buf := make([]byte, l.VectorBytes())
+				l.Transform(codesOf(et, v), buf)
+
+				ref.Reset()
+				want, wantLines := ref.RunETCapped(buf, math.Inf(1), -1)
+				if wantLines != total {
+					t.Fatalf("%v/%v: uncapped run stopped at %d/%d lines", et, m, wantLines, total)
+				}
+
+				esc.Reset()
+				var lb float64
+				lines, prev := 0, math.Inf(-1)
+				for cap := 1; lines < total; cap *= 2 {
+					lb, lines = esc.RunETCapped(buf, math.Inf(1), cap)
+					if lb < prev {
+						t.Fatalf("%v/%v: bound decreased %v -> %v across escalation", et, m, prev, lb)
+					}
+					if lb > want+1e-6*math.Max(1, math.Abs(want)) {
+						t.Fatalf("%v/%v: partial bound %v exceeds exact %v", et, m, lb, want)
+					}
+					prev = lb
+				}
+				if lb != want {
+					t.Fatalf("%v/%v: escalated-to-full bound %v != uncapped %v (bitwise)", et, m, lb, want)
+				}
+			}
+		}
+	}
+}

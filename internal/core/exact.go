@@ -55,7 +55,7 @@ func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []h
 	}
 	id := uint32(0)
 	for ; id < n && heap.Len() < k; id++ {
-		r := e.Compare(id, math.Inf(1))
+		r := e.compareExact(id, math.Inf(1))
 		linesFetched += r.TotalLines()
 		heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})
 	}
@@ -76,7 +76,7 @@ func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []h
 				break
 			}
 		}
-		r := e.Compare(id, heap.Top().Dist)
+		r := e.compareExact(id, heap.Top().Dist)
 		linesFetched += r.TotalLines()
 		if r.Accepted {
 			heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})

@@ -6,6 +6,7 @@ import (
 
 	"ansmet/internal/bitplane"
 	"ansmet/internal/engine"
+	"ansmet/internal/precision"
 	"ansmet/internal/prefixelim"
 	"ansmet/internal/vecmath"
 )
@@ -138,6 +139,11 @@ type ETEngine struct {
 	// comparisons, accepting the lossy truncated distance — the paper's
 	// Table 5(b) variant that trades accuracy for space.
 	noBackup bool
+	// prec, precBias and precMargin configure the adaptive mixed-precision
+	// Compare mode (SetPrecision): a nil prec keeps the exact semantics.
+	prec       *precision.Map
+	precBias   int
+	precMargin float64
 	// knnHeap is ExactKNN's reusable result heap (scratch, reset per call).
 	knnHeap maxHeap
 	// tierHeap and tierEntries are the tiered pipeline's reusable stage-1
@@ -212,11 +218,40 @@ func (e *ETEngine) StartQuery(q []float32) {
 	}
 }
 
+// SetPrecision switches Compare into adaptive mixed-precision mode for the
+// beam path: normal (bit-plane-encoded) vectors fetch only their static
+// per-partition minimum depth from pm (plus bias lines from the tuner),
+// escalating — doubling the cap, up to the full vector — while the bound
+// sits within margin·|threshold| below the rejection threshold. Rejections
+// stay sound (the bound proves Dist > threshold) and a fully-fetched
+// comparison is still bitwise exact, but a margin-slack accept reports the
+// partial lower bound as its distance, so accepted distances become
+// approximate. Outlier-encoded vectors keep the exact backup re-check, the
+// adaptive mode skips the local-termination modelling (LinesLocal equals
+// Lines), and ExactKNN and the tiered stage-2 re-rank always use the exact
+// path regardless of this setting. A nil pm restores exact semantics.
+func (e *ETEngine) SetPrecision(pm *precision.Map, bias int, margin float64) {
+	e.prec = pm
+	e.precBias = bias
+	e.precMargin = margin
+}
+
 // Compare implements engine.Engine: it fetches the vector's lines in
 // storage order, early-terminating once the bound proves rejection. For
 // outlier-encoded vectors an in-bound result triggers the full-precision
-// backup re-check, preserving exactness (§4.2).
+// backup re-check, preserving exactness (§4.2). In adaptive mixed-precision
+// mode (SetPrecision) normal vectors take the capped-depth escalation path
+// instead, whose margin-slack accepts are approximate.
 func (e *ETEngine) Compare(id uint32, threshold float64) engine.Result {
+	if e.prec != nil && !(e.ob != nil && e.store.isOutlier[int(id)]) {
+		return e.compareAdaptive(id, threshold)
+	}
+	return e.compareExact(id, threshold)
+}
+
+// compareExact is the fixed-precision comparison: the exact-result contract
+// every invariant-bound caller (ExactKNN, tiered stage 2) pins itself to.
+func (e *ETEngine) compareExact(id uint32, threshold float64) engine.Result {
 	data := e.store.slot(id)
 	if e.ob != nil && e.store.isOutlier[int(id)] {
 		e.ob.Reset()
@@ -244,6 +279,38 @@ func (e *ETEngine) Compare(id uint32, threshold float64) engine.Result {
 	// Fully fetched: the bound is the exact distance (normal vectors are
 	// losslessly encoded).
 	return engine.Result{Dist: lb, Accepted: lb <= threshold, Lines: lines, LinesLocal: linesLocal}
+}
+
+// compareAdaptive is the mixed-precision comparison of normal vectors: run
+// early termination to the static per-partition depth, then escalate while
+// the bound lands inside the margin window below the threshold — a tight
+// top-k margin means the candidate's rank genuinely depends on the unseen
+// planes, a slack one means the partial bound already settles it.
+func (e *ETEngine) compareAdaptive(id uint32, threshold float64) engine.Result {
+	data := e.store.slot(id)
+	lim := e.store.Layout.LinesPerVector()
+	depth := e.prec.Lines(id) + e.precBias
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > lim {
+		depth = lim
+	}
+	e.b.Reset()
+	lb, lines := e.b.RunETCapped(data, threshold, depth)
+	for lines < lim && lb <= threshold && lb > threshold-e.precMargin*math.Abs(threshold) {
+		depth *= 2
+		if depth > lim {
+			depth = lim
+		}
+		lb, lines = e.b.RunETCapped(data, threshold, depth)
+	}
+	if lines < lim && lb > threshold {
+		return engine.Result{Dist: lb, Lines: lines, LinesLocal: lines}
+	}
+	// Fully fetched (exact, bitwise) or a margin-slack partial accept (the
+	// bound stands in for the distance).
+	return engine.Result{Dist: lb, Accepted: lb <= threshold, Lines: lines, LinesLocal: lines}
 }
 
 // LinesPerVector implements engine.Engine.

@@ -16,6 +16,7 @@ import (
 	"ansmet/internal/layout"
 	"ansmet/internal/partition"
 	"ansmet/internal/polling"
+	"ansmet/internal/precision"
 	"ansmet/internal/prefixelim"
 	"ansmet/internal/sim"
 	"ansmet/internal/stats"
@@ -55,6 +56,18 @@ type SystemConfig struct {
 	// synchronization traversal), amortizing the per-hop offload and
 	// polling synchronization; 1 is the textbook sequential beam search.
 	BeamBatch int
+
+	// RecallTarget, when in (0, 1), enables adaptive mixed-precision search
+	// for the ET designs: a per-partition minimum plane depth is derived at
+	// build time from cluster radius statistics (System.Precision) and the
+	// query paths escalate fetch depth only where the top-k margin is
+	// tight. 0 (and 1) keep the fixed-depth machinery — results are then
+	// byte-identical to a build without the knob.
+	RecallTarget float64
+	// PrecisionOpts tunes the per-partition precision derivation; zero
+	// values take defaults (Seed inherits SystemConfig.Seed). Ignored
+	// unless RecallTarget is in (0, 1).
+	PrecisionOpts precision.BuildConfig
 
 	// Fault, when non-nil, interposes a deterministic fault injector on the
 	// serving path (internal/fault) and implies Resilience.Enabled: NDP
@@ -108,6 +121,9 @@ type System struct {
 	SimCfg   sim.Config
 	Analysis *layout.Analysis // nil unless the design samples
 	Params   layout.Params    // zero unless the design samples
+	// Precision is the per-partition static depth map, stored alongside
+	// the layout params; nil unless RecallTarget enabled it.
+	Precision *precision.Map
 
 	// PreprocessSeconds is the wall time of the offline pass: sampling,
 	// parameter search and layout transformation (Table 4).
@@ -192,6 +208,27 @@ func NewSystem(vectors [][]float32, elem vecmath.ElemType, metric vecmath.Metric
 		s.Engine = engine.NewExact(vectors, metric, elem)
 		lines = s.Engine.LinesPerVector()
 		groupLines = []int{lines}
+	}
+
+	// Per-partition static precision (adaptive mixed-precision search).
+	if s.Store != nil && cfg.RecallTarget > 0 && cfg.RecallTarget < 1 {
+		pcfg := cfg.PrecisionOpts
+		if pcfg.Seed == 0 {
+			pcfg.Seed = cfg.Seed
+		}
+		pm, err := precision.Build(vectors, s.Store.Layout, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Precision = pm
+		if ee, ok := s.Engine.(*ETEngine); ok {
+			// The beam path honors the static schedule immediately: depth
+			// bias 0 and the target-derived escalation margin are the
+			// pre-calibration state a fresh tuner would report, so serial
+			// and parallel runs (worker engines get the same wiring in
+			// NewWorkerEngine) stay byte-identical.
+			ee.SetPrecision(pm, 0, precision.MarginForTarget(cfg.RecallTarget))
+		}
 	}
 
 	// Partitioning.
@@ -424,6 +461,13 @@ func (s *System) NewWorkerEngine() engine.Engine {
 	if s.Store != nil {
 		e := s.Store.NewETEngine(s.Metric)
 		e.SetLocalSegments(s.Part.NumSegments())
+		if s.Precision != nil && s.Faults == nil {
+			// Resilience-wrapped engines never get the adaptive mode: the
+			// fallback contract is exact distances, and a wrapped primary
+			// mixing margin-slack accepts into degraded results would break
+			// the bitwise fixed/adaptive degradation identity.
+			e.SetPrecision(s.Precision, 0, precision.MarginForTarget(s.Cfg.RecallTarget))
+		}
 		base = e
 	} else {
 		base = engine.NewExact(s.vectors, s.Metric, s.Elem)

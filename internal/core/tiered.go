@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ansmet/internal/hnsw"
+	"ansmet/internal/precision"
 )
 
 // This file implements the tiered bound-first / exact-rerank query pipeline
@@ -49,6 +50,23 @@ type TieredOpts struct {
 	// ascending-bound stage-2 visit order compensates for their slack.
 	// Negative means the never-fully-fetch maximum (LinesPerVector()−1).
 	MaxBoundLines int
+	// Precision, when non-nil, makes the stage-1 fetch depth per-vector:
+	// each id fetches its partition's static minimum depth (plus DepthBias
+	// lines) instead of the uniform MaxBoundLines cap, which stays the
+	// escalation ceiling. Outlier-encoded vectors honor the same schedule
+	// rescaled onto their line geometry (precision.Map.ScaledLines). A nil
+	// map reproduces the fixed-depth scan byte for byte.
+	Precision *precision.Map
+	// DepthBias adds lines on top of every partition's static depth — the
+	// recall-target tuner's online correction.
+	DepthBias int
+	// EscalateMargin enables per-candidate escalation: an id whose bound
+	// lands within EscalateMargin·|stop| below the running k-th bound (a
+	// tight top-k margin — the unseen planes could still reorder it)
+	// resumes fetching up to the stage-1 ceiling; a slack bound stops at
+	// the static depth. 0 disables escalation. Only meaningful with
+	// Precision set.
+	EscalateMargin float64
 }
 
 // TieredStats reports one tiered query's work split.
@@ -56,6 +74,8 @@ type TieredStats struct {
 	Pool        int  // ids re-ranked exactly in stage 2
 	BoundLines  int  // lines fetched by the stage-1 bound-only scan
 	RerankLines int  // lines (incl. outlier backups) fetched by stage 2
+	Escalated   int  // stage-1 candidates escalated past their static depth
+	AtRisk      int  // returned results inside the adaptive cut's risk window
 	Cancelled   bool // stopped at a cooperative-cancellation checkpoint
 }
 
@@ -157,6 +177,7 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 	if maxLines < 0 || maxLines > limit {
 		maxLines = limit
 	}
+	pm := opt.Precision
 
 	var st TieredStats
 	e.StartQuery(q)
@@ -190,11 +211,39 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 		var lines int
 		data := e.store.slot(id)
 		if e.ob != nil && e.store.isOutlier[int(id)] {
+			depth := maxLines
+			if pm != nil {
+				if d := pm.ScaledLines(id, e.ob.Lines()) + opt.DepthBias; d < depth {
+					depth = d
+				}
+				if depth < 1 {
+					depth = 1
+				}
+			}
 			e.ob.Reset()
-			lb, lines = e.ob.RunBound(data, stopAt, maxLines)
+			lb, lines = e.ob.RunBound(data, stopAt, depth)
+			if pm != nil && depth < maxLines && lines >= depth &&
+				lb <= stopAt && lb > stopAt-opt.EscalateMargin*math.Abs(stopAt) {
+				lb, lines = e.ob.RunBound(data, stopAt, maxLines)
+				st.Escalated++
+			}
 		} else {
+			depth := maxLines
+			if pm != nil {
+				if d := pm.Lines(id) + opt.DepthBias; d < depth {
+					depth = d
+				}
+				if depth < 1 {
+					depth = 1
+				}
+			}
 			e.b.Reset()
-			lb, lines = e.b.RunBound(data, stopAt, maxLines)
+			lb, lines = e.b.RunBound(data, stopAt, depth)
+			if pm != nil && depth < maxLines && lines >= depth &&
+				lb <= stopAt && lb > stopAt-opt.EscalateMargin*math.Abs(stopAt) {
+				lb, lines = e.b.RunBound(data, stopAt, maxLines)
+				st.Escalated++
+			}
 		}
 		st.BoundLines += lines
 		if bh.Len() < k {
@@ -239,7 +288,7 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 		if kh.Len() >= k {
 			th = kh.Top().Dist
 		}
-		r := e.Compare(ent.id, th)
+		r := e.compareExact(ent.id, th)
 		st.RerankLines += r.TotalLines()
 		if kh.Len() < k {
 			kh.Push(hnsw.Neighbor{ID: ent.id, Dist: r.Dist})
@@ -262,6 +311,16 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 	}
 	for i := m - 1; i >= 0; i-- {
 		dst[i] = kh.Pop()
+	}
+	// Risk-window census for the recall-target tuner: results whose exact
+	// distance lies inside (stop, kth] are the ones a slightly looser bound
+	// ordering would have cut first — their mass is the observed recall
+	// risk of this budget. Always 0 at Budget 1 (stop == kth there).
+	if m > 0 {
+		stop := rerankStop(dst[m-1].Dist, budget)
+		for i := m - 1; i >= 0 && dst[i].Dist > stop; i-- {
+			st.AtRisk++
+		}
 	}
 	return dst, st, pool
 }

@@ -102,6 +102,12 @@ type Router struct {
 	routed   [numRoutes]atomic.Uint64
 	diverted atomic.Uint64            // auto decisions forced to exact by degraded ranks
 	costNs   [numRoutes]atomic.Uint64 // EWMA cost per route; 0 = no observation yet
+	// costScale holds per-route multiplicative corrections on the EWMA
+	// estimate Decide consults (float bits; 0 = no correction). The
+	// recall-target auto-tuner uses it to tell the cost model that
+	// adaptive precision makes the tiered path cheaper than its
+	// pre-calibration observations suggest.
+	costScale [numRoutes]atomic.Uint64
 }
 
 // NewRouter builds a router; degraded may be nil.
@@ -142,11 +148,33 @@ func (r *Router) Decide(slack time.Duration, hasTiered bool) Route {
 	if slack < 0 {
 		return RouteTiered
 	}
-	est := r.CostNs(RouteTiered)
-	if est == 0 || float64(slack) >= r.cfg.SafetyFactor*float64(est) {
+	est := float64(r.CostNs(RouteTiered)) * r.scaleOf(RouteTiered)
+	if est == 0 || float64(slack) >= r.cfg.SafetyFactor*est {
 		return RouteTiered
 	}
 	return RouteNDP
+}
+
+// SetCostScale installs a multiplicative correction on route's EWMA cost
+// estimate as consulted by Decide (the raw CostNs observations are left
+// untouched). Non-positive scales reset to the neutral 1.
+func (r *Router) SetCostScale(route Route, scale float64) {
+	if route <= RouteAuto || route >= numRoutes {
+		return
+	}
+	if scale <= 0 {
+		r.costScale[route].Store(0)
+		return
+	}
+	r.costScale[route].Store(math.Float64bits(scale))
+}
+
+// scaleOf reads route's cost-scale correction (1 when unset).
+func (r *Router) scaleOf(route Route) float64 {
+	if bits := r.costScale[route].Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 1
 }
 
 // Record counts one query executed on route.
@@ -194,6 +222,9 @@ type RouterSnapshot struct {
 	Diverted           uint64 // auto decisions forced to exact by degraded ranks
 	InFlight           int64
 	CostNs             map[string]uint64 // per-route EWMA cost (observed routes only)
+	// CostScale lists the non-neutral cost-model corrections installed via
+	// SetCostScale (nil when none are).
+	CostScale map[string]float64
 }
 
 // Snapshot copies the current counters.
@@ -209,6 +240,12 @@ func (r *Router) Snapshot() RouterSnapshot {
 	for route := RouteNDP; route < numRoutes; route++ {
 		if c := r.costNs[route].Load(); c != 0 {
 			s.CostNs[route.String()] = c
+		}
+		if bits := r.costScale[route].Load(); bits != 0 {
+			if s.CostScale == nil {
+				s.CostScale = map[string]float64{}
+			}
+			s.CostScale[route.String()] = math.Float64frombits(bits)
 		}
 	}
 	return s

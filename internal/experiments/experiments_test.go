@@ -194,6 +194,41 @@ func TestFigTieredFrontierShape(t *testing.T) {
 	}
 }
 
+func TestFigPrecisionFrontierShape(t *testing.T) {
+	tab := testRunner.FigPrecisionFrontier()
+	if len(tab.Rows)%4 != 0 || len(tab.Rows) == 0 {
+		t.Fatalf("want cells of 4 rows (beam/tiered x fixed/adaptive), got %d rows", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 4 {
+		bf, ba, tf, ta := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2], tab.Rows[i+3]
+		name, tgt := bf[0], bf[1]
+		if bf[2] != "beam" || bf[3] != "fixed" || ba[3] != "adaptive" ||
+			tf[2] != "tiered" || tf[3] != "fixed" || ta[3] != "adaptive" {
+			t.Fatalf("%s/%s: unexpected row layout %v", name, tgt, tab.Rows[i:i+4])
+		}
+		// Beam: adaptive must save lines without giving up meaningful recall.
+		if fix, ad := parseF(t, bf[5]), parseF(t, ba[5]); ad >= fix {
+			t.Errorf("%s/%s: adaptive beam lines %v not below fixed %v", name, tgt, ad, fix)
+		}
+		if fix, ad := parseF(t, bf[4]), parseF(t, ba[4]); ad < fix-0.05 {
+			t.Errorf("%s/%s: adaptive beam recall %v fell more than 0.05 below fixed %v",
+				name, tgt, ad, fix)
+		}
+		if sp := parseF(t, ba[7]); sp <= 1 {
+			t.Errorf("%s/%s: beam speedup %v not > 1", name, tgt, sp)
+		}
+		// Tiered: the deeper adaptive stage-1 must not grow the re-rank pool,
+		// and recall must stay at least at the fixed arm's level - 0.05.
+		if fix, ad := parseF(t, tf[6]), parseF(t, ta[6]); ad > fix {
+			t.Errorf("%s/%s: adaptive tiered pool %v above fixed %v", name, tgt, ad, fix)
+		}
+		if fix, ad := parseF(t, tf[4]), parseF(t, ta[4]); ad < fix-0.05 {
+			t.Errorf("%s/%s: adaptive tiered recall %v fell more than 0.05 below fixed %v",
+				name, tgt, ad, fix)
+		}
+	}
+}
+
 func TestFig09Shape(t *testing.T) {
 	tab := testRunner.Fig09()
 	if len(tab.Rows) != 4 {
@@ -392,6 +427,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"Fig11", (*Runner).Fig11},
 		{"Fig12", (*Runner).Fig12},
 		{"FigTieredFrontier", (*Runner).FigTieredFrontier},
+		{"FigPrecisionFrontier", (*Runner).FigPrecisionFrontier},
 		{"Table3", (*Runner).Table3},
 		{"Table4", (*Runner).Table4},
 		{"Table5", (*Runner).Table5},

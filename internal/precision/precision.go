@@ -1,0 +1,394 @@
+// Package precision implements adaptive mixed-precision search over the
+// bit-plane layout (ROADMAP item 4, ANNS-AMP-style). The layout stores
+// vectors most-significant-bits-first, so "precision" is simply how many
+// plane lines a query fetches before trusting the bound. This package
+// supplies the two halves of making that depth dynamic:
+//
+//   - Map: a per-partition static decision derived offline from k-means
+//     cluster radius statistics. Tight clusters need fewer planes — their
+//     members share a coarse bit signature, so a shallow bound already
+//     orders them against candidates from other clusters — while diffuse
+//     clusters get deeper minimum schedules. The map is resolved to a
+//     per-vector minimum fetch depth (in 64 B lines) honored by the
+//     bounder fetch schedules in internal/bitplane and internal/prefixelim.
+//
+//   - Tuner: a per-database online controller for the RecallTarget knob.
+//     It watches each tiered query's observed bound distribution (how much
+//     of the final top-k landed inside the adaptive cut's risk window, and
+//     how fat the stage-2 pool ran) and EWMA-calibrates — exactly like the
+//     query router's cost model — the tiered cut budget and a depth bias
+//     on top of the static map. All methods are allocation-free and safe
+//     for concurrent use.
+//
+// Escalation (the per-query dynamic half) lives with the engines in
+// internal/core: candidates whose bound lands within the margin window of
+// the running threshold fetch deeper, up to the full vector, where the
+// fully-fetched bound is the exact distance bitwise.
+package precision
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"ansmet/internal/bitplane"
+	"ansmet/internal/kmeans"
+)
+
+// BuildConfig tunes the offline per-partition precision derivation.
+type BuildConfig struct {
+	// Clusters is the k-means partition count; 0 picks
+	// min(64, max(1, n/128)).
+	Clusters int
+	// MaxIters bounds the Lloyd iterations (default 6 — the radius
+	// statistics converge much faster than the assignment does).
+	MaxIters int
+	// Seed drives the k-means initialization (deterministic rebuilds).
+	Seed uint64
+	// BaseBits is the per-element precision (post-prefix code bits) granted
+	// to a median-radius cluster; 0 picks half the layout's suffix width.
+	BaseBits int
+	// MinBits floors the per-cluster precision (default 2).
+	MinBits int
+}
+
+func (c BuildConfig) withDefaults(n, suffixBits int) BuildConfig {
+	if c.Clusters <= 0 {
+		c.Clusters = n / 128
+		if c.Clusters > 64 {
+			c.Clusters = 64
+		}
+		if c.Clusters < 1 {
+			c.Clusters = 1
+		}
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 6
+	}
+	if c.BaseBits <= 0 {
+		c.BaseBits = (suffixBits + 1) / 2
+	}
+	if c.MinBits <= 0 {
+		c.MinBits = 2
+	}
+	return c
+}
+
+// Map is the static half of adaptive precision: a per-vector minimum
+// stage-1 fetch depth, resolved from per-partition radius statistics at
+// build time and stored alongside the layout parameters. Immutable after
+// Build and safe for concurrent use.
+type Map struct {
+	// Clusters is the fitted partition count.
+	Clusters int
+	// Radius is each partition's RMS member-to-centroid distance.
+	Radius []float64
+	// PartitionLines is each partition's minimum fetch depth in lines.
+	PartitionLines []int
+
+	lines      []uint16 // per-vector minimum depth (denormalized hot path)
+	totalLines int      // layout.LinesPerVector()
+	meanLines  float64
+}
+
+// Build fits k-means over the (quantized) vectors and derives the
+// per-partition minimum plane depth from the cluster radius distribution:
+// a cluster at the median radius gets BaseBits of per-element precision,
+// tighter clusters proportionally fewer bits (log2 of the radius ratio),
+// diffuse clusters more, clamped to [MinBits, SuffixBits]. Bits map to
+// lines through the layout's group geometry (Layout.LinesForBits), and the
+// per-vector depth is clamped to [1, LinesPerVector()−1] so the static
+// schedule alone never fully fetches — full fetches stay the escalation
+// path's decision.
+func Build(vectors [][]float32, lay *bitplane.Layout, cfg BuildConfig) (*Map, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("precision: empty dataset")
+	}
+	suffix := lay.SuffixBits()
+	cfg = cfg.withDefaults(n, suffix)
+	res, err := kmeans.Run(vectors, kmeans.Config{
+		K: cfg.Clusters, MaxIters: cfg.MaxIters, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := len(res.Centroids)
+
+	// RMS member-to-centroid distance per cluster.
+	radius := make([]float64, k)
+	count := make([]int, k)
+	for i, v := range vectors {
+		c := res.Assign[i]
+		var sum float64
+		cv := res.Centroids[c]
+		for d := range v {
+			diff := float64(v[d]) - float64(cv[d])
+			sum += diff * diff
+		}
+		radius[c] += sum
+		count[c]++
+	}
+	for c := range radius {
+		if count[c] > 0 {
+			radius[c] = math.Sqrt(radius[c] / float64(count[c]))
+		}
+	}
+
+	// Median of the non-empty cluster radii anchors the BaseBits grant.
+	med := medianPositive(radius)
+	m := &Map{
+		Clusters:       k,
+		Radius:         radius,
+		PartitionLines: make([]int, k),
+		lines:          make([]uint16, n),
+		totalLines:     lay.LinesPerVector(),
+	}
+	maxDepth := m.totalLines - 1
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	for c := range radius {
+		bits := cfg.BaseBits
+		if med > 0 && radius[c] > 0 {
+			bits += int(math.Round(math.Log2(radius[c] / med)))
+		}
+		if bits < cfg.MinBits {
+			bits = cfg.MinBits
+		}
+		if bits > suffix {
+			bits = suffix
+		}
+		depth := lay.LinesForBits(bits)
+		if depth < 1 {
+			depth = 1
+		}
+		if depth > maxDepth {
+			depth = maxDepth
+		}
+		m.PartitionLines[c] = depth
+	}
+	var total float64
+	for i := range vectors {
+		d := m.PartitionLines[res.Assign[i]]
+		m.lines[i] = uint16(d)
+		total += float64(d)
+	}
+	m.meanLines = total / float64(n)
+	return m, nil
+}
+
+// medianPositive returns the median of the positive values of xs (0 when
+// none are positive). k is small (≤ 64), so an insertion copy is fine.
+func medianPositive(xs []float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	for i := 1; i < len(pos); i++ {
+		for j := i; j > 0 && pos[j] < pos[j-1]; j-- {
+			pos[j], pos[j-1] = pos[j-1], pos[j]
+		}
+	}
+	return pos[len(pos)/2]
+}
+
+// Lines returns vector id's minimum fetch depth in lines (≥ 1, never the
+// full line count).
+func (m *Map) Lines(id uint32) int { return int(m.lines[id]) }
+
+// ScaledLines rescales vector id's depth from the bit-plane layout's line
+// count onto an encoding with `total` lines (the outlier format), rounding
+// up and keeping at least one line — how internal/prefixelim honors the
+// per-partition schedule despite its different line geometry.
+func (m *Map) ScaledLines(id uint32, total int) int {
+	d := (int(m.lines[id])*total + m.totalLines - 1) / m.totalLines
+	if d < 1 {
+		d = 1
+	}
+	if d > total {
+		d = total
+	}
+	return d
+}
+
+// MeanLines reports the population mean of the per-vector minimum depth —
+// the static schedule's expected stage-1 cost in lines.
+func (m *Map) MeanLines() float64 { return m.meanLines }
+
+// TotalLines reports the layout line count the map was built for.
+func (m *Map) TotalLines() int { return m.totalLines }
+
+// EWMA smoothing factor of the tuner's observations — matches the query
+// router's cost model.
+const tunerAlpha = 0.2
+
+// tuneStride is the observation count between controller adjustments: the
+// EWMAs update every query, the knobs move only every stride-th one, which
+// keeps single-query noise from thrashing the budget.
+const tuneStride = 8
+
+// maxDepthBias caps the tuner's additive depth correction in lines.
+const maxDepthBias = 3
+
+// Pool-per-k watermarks steering the depth bias: a stage-2 pool fatter
+// than poolHighWater×k means the static bounds are too loose (fetch
+// deeper); leaner than poolLowWater×k means depth is being wasted.
+const (
+	poolHighWater = 32.0
+	poolLowWater  = 8.0
+)
+
+// Tuner auto-calibrates the tiered pipeline toward a recall target from
+// the observed bound distribution. It EWMA-tracks two per-query signals —
+// the fraction of the final top-k inside the adaptive cut's risk window
+// (results a slightly looser bound would have cut) and the stage-2 pool
+// size per requested k — and nudges the cut budget and the static map's
+// depth bias against them. All methods are allocation-free and safe for
+// concurrent use; adjustments are deterministic in the observation
+// sequence (no clocks, no randomness), so single-threaded replays are
+// byte-identical.
+type Tuner struct {
+	target float64
+	floor  float64
+
+	budget atomic.Uint64 // math.Float64bits of the current cut budget
+	bias   atomic.Int64  // depth bias in lines, [0, maxDepthBias]
+	risk   atomic.Uint64 // EWMA of atRisk/k (float bits)
+	pool   atomic.Uint64 // EWMA of pool/k (float bits)
+	obs    atomic.Uint64 // observation count
+}
+
+// NewTuner builds a tuner for the given recall target, clamped to
+// [0.5, 0.999]. The initial budget splits the difference between the
+// target (its floor — the budget is itself a recall-style knob, so it
+// never relaxes below the target) and 1.
+func NewTuner(target float64) *Tuner {
+	if target < 0.5 {
+		target = 0.5
+	}
+	if target > 0.999 {
+		target = 0.999
+	}
+	t := &Tuner{target: target, floor: target}
+	t.budget.Store(math.Float64bits((1 + target) / 2))
+	return t
+}
+
+// Target returns the configured recall target.
+func (t *Tuner) Target() float64 { return t.target }
+
+// Budget returns the current tiered cut budget in (0, 1].
+func (t *Tuner) Budget() float64 { return math.Float64frombits(t.budget.Load()) }
+
+// DepthBias returns the current additive depth correction in lines.
+func (t *Tuner) DepthBias() int { return int(t.bias.Load()) }
+
+// Margin returns the escalation margin for this target: candidates whose
+// bound lands within margin·|threshold| below the running threshold fetch
+// deeper instead of settling for the partial bound. Looser targets shrink
+// the window (more partial accepts), tight targets widen it.
+func (t *Tuner) Margin() float64 { return MarginForTarget(t.target) }
+
+// MarginForTarget maps a recall target to the escalation margin,
+// 4·(1−target) clamped to [0.02, 0.6].
+func MarginForTarget(target float64) float64 {
+	m := 4 * (1 - target)
+	if m < 0.02 {
+		m = 0.02
+	}
+	if m > 0.6 {
+		m = 0.6
+	}
+	return m
+}
+
+// ewmaFold CAS-folds x into the float-bits EWMA at a (the router's
+// Observe pattern), returning the new value.
+func ewmaFold(a *atomic.Uint64, x float64) float64 {
+	for {
+		old := a.Load()
+		nw := x
+		if old != 0 {
+			nw = (1-tunerAlpha)*math.Float64frombits(old) + tunerAlpha*x
+		}
+		if a.CompareAndSwap(old, math.Float64bits(nw)) {
+			return nw
+		}
+	}
+}
+
+// Observe folds one tiered query's outcome into the calibration: k is the
+// requested result count, pool the stage-2 re-rank pool size, and atRisk
+// how many of the returned top-k landed inside the adaptive cut's risk
+// window (TieredStats.AtRisk).
+func (t *Tuner) Observe(k, pool, atRisk int) {
+	if k <= 0 {
+		return
+	}
+	r := ewmaFold(&t.risk, float64(atRisk)/float64(k))
+	p := ewmaFold(&t.pool, float64(pool)/float64(k))
+	if t.obs.Add(1)%tuneStride != 0 {
+		return
+	}
+	// Budget: the risk window holds the results the cut would shave first,
+	// so its EWMA mass is a proxy for the recall the cut is gambling with.
+	// Above the allowance (1−target): tighten hard toward exact. Well
+	// under it: relax slowly. The asymmetry (fast up, slow down) is the
+	// usual congestion-control shape — recall misses cost more than fetch
+	// slack.
+	allow := 1 - t.target
+	b := t.Budget()
+	switch {
+	case r > allow:
+		b += 0.5 * (1 - b)
+	case r < 0.25*allow:
+		b -= 0.02
+	}
+	if b < t.floor {
+		b = t.floor
+	}
+	if b > 1 {
+		b = 1
+	}
+	t.budget.Store(math.Float64bits(b))
+	// Depth bias: a fat pool means the static depths bound too loosely —
+	// spend more lines in stage 1 to shrink stage 2; a lean pool returns
+	// the lines.
+	bias := t.bias.Load()
+	switch {
+	case p > poolHighWater && bias < maxDepthBias:
+		t.bias.Store(bias + 1)
+	case p < poolLowWater && bias > 0:
+		t.bias.Store(bias - 1)
+	}
+}
+
+// TunerSnapshot is a plain-value copy of the tuner's state for debug-vars.
+type TunerSnapshot struct {
+	Target       float64
+	Budget       float64
+	DepthBias    int
+	Margin       float64
+	RiskEWMA     float64
+	PoolPerK     float64
+	Observations uint64
+}
+
+// Snapshot copies the current calibration state.
+func (t *Tuner) Snapshot() TunerSnapshot {
+	return TunerSnapshot{
+		Target:       t.target,
+		Budget:       t.Budget(),
+		DepthBias:    t.DepthBias(),
+		Margin:       t.Margin(),
+		RiskEWMA:     math.Float64frombits(t.risk.Load()),
+		PoolPerK:     math.Float64frombits(t.pool.Load()),
+		Observations: t.obs.Load(),
+	}
+}

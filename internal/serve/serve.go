@@ -48,6 +48,13 @@ type OutcomeFunc func(ctx context.Context, q []float32, k, ef int) (Outcome, err
 // handler; the Outcome's Route field should report the path actually taken.
 type RoutedFunc func(ctx context.Context, q []float32, k, ef int, mode string) (Outcome, error)
 
+// PrecisionFunc is the recall-target-aware search hook, used for requests
+// that carry a "recall_target" field: recallTarget is pre-validated to
+// (0, 1] and mode is either empty or a valid route name. The backend maps
+// the target onto its adaptive mixed-precision machinery (for the ansmet
+// Database, the tiered pipeline's cut budget).
+type PrecisionFunc func(ctx context.Context, q []float32, k, ef int, mode string, recallTarget float64) (Outcome, error)
+
 // PartialHeader marks responses assembled from a degraded backend (one or
 // more shards missing from the merge). Clients that require complete
 // answers should retry on it; clients that prefer fast approximate answers
@@ -71,6 +78,11 @@ type Config struct {
 	// HTTP 400; requests without a mode always use SearchOutcome/Search, so
 	// wiring SearchRouted changes nothing for existing clients.
 	SearchRouted RoutedFunc
+	// SearchPrecision, when set, serves requests that carry a
+	// "recall_target" field (adaptive mixed-precision). Requests naming a
+	// target on a server without it get HTTP 400; requests without one
+	// never reach it.
+	SearchPrecision PrecisionFunc
 	// ExtraVars, when set, contributes additional top-level sections to
 	// /debug/vars (e.g. cluster shard health). Keys must not collide with
 	// the built-in "serve"/"admission"/"goroutines"/"draining" sections;
@@ -152,6 +164,10 @@ type Metrics struct {
 	RoutedNDP    atomic.Int64
 	RoutedTiered atomic.Int64
 	RoutedExact  atomic.Int64
+
+	// RecallTargeted counts requests that carried an explicit
+	// recall_target (served through Config.SearchPrecision).
+	RecallTargeted atomic.Int64
 }
 
 // countRoute bumps the counter for a reported route name; unknown names
@@ -179,6 +195,10 @@ type SearchRequest struct {
 	// routing), "ndp", "tiered", or "exact". Empty uses the server's
 	// default path. Requires a route-aware backend (Config.SearchRouted).
 	Mode string `json:"mode,omitempty"`
+	// RecallTarget, in (0, 1], asks for adaptive mixed-precision at this
+	// recall level (1 = exact). Requires a precision-aware backend
+	// (Config.SearchPrecision). 0 (absent) uses the server's default.
+	RecallTarget float64 `json:"recall_target,omitempty"`
 	// Panic triggers the chaos panic probe (only honored when
 	// Config.AllowPanicProbe is set).
 	Panic bool `json:"panic,omitempty"`
@@ -404,6 +424,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Error: "mode selection is not supported by this server"})
 		return
 	}
+	if req.RecallTarget < 0 || req.RecallTarget > 1 {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{
+			Error: fmt.Sprintf("recall_target %g outside (0, 1]", req.RecallTarget)})
+		return
+	}
+	if req.RecallTarget > 0 && s.cfg.SearchPrecision == nil {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{
+			Error: "recall_target is not supported by this server"})
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -421,6 +453,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	var out Outcome
 	switch {
+	case req.RecallTarget > 0:
+		s.metrics.RecallTargeted.Add(1)
+		out, err = s.cfg.SearchPrecision(ctx, req.Query, k, ef, req.Mode, req.RecallTarget)
 	case req.Mode != "":
 		out, err = s.cfg.SearchRouted(ctx, req.Query, k, ef, req.Mode)
 	case s.cfg.SearchOutcome != nil:
@@ -514,17 +549,18 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	adm := s.adm.Stats()
 	vars := map[string]any{
 		"serve": map[string]int64{
-			"requests":       m.Requests.Load(),
-			"ok":             m.OK.Load(),
-			"bad_requests":   m.BadRequests.Load(),
-			"shed":           m.Shed.Load(),
-			"timeouts":       m.Timeouts.Load(),
-			"client_cancels": m.ClientCancels.Load(),
-			"draining":       m.Draining.Load(),
-			"panics":         m.Panics.Load(),
-			"internal":       m.Internal.Load(),
-			"in_flight":      m.InFlight.Load(),
-			"partials":       m.Partials.Load(),
+			"requests":        m.Requests.Load(),
+			"ok":              m.OK.Load(),
+			"bad_requests":    m.BadRequests.Load(),
+			"shed":            m.Shed.Load(),
+			"timeouts":        m.Timeouts.Load(),
+			"client_cancels":  m.ClientCancels.Load(),
+			"draining":        m.Draining.Load(),
+			"panics":          m.Panics.Load(),
+			"internal":        m.Internal.Load(),
+			"in_flight":       m.InFlight.Load(),
+			"partials":        m.Partials.Load(),
+			"recall_targeted": m.RecallTargeted.Load(),
 		},
 		"admission": map[string]any{
 			"admitted":      adm.Admitted,

@@ -461,3 +461,96 @@ func TestVarsRouteCounters(t *testing.T) {
 		t.Fatalf("routes section: %v", routes)
 	}
 }
+
+// TestSearchRecallTarget: the recall_target field validates, dispatches
+// through the precision hook with the pre-validated target and mode, and
+// is counted in metrics and /debug/vars.
+func TestSearchRecallTarget(t *testing.T) {
+	var gotTarget float64
+	var gotMode string
+	s := newTestServer(t, Config{
+		SearchRouted: func(ctx context.Context, q []float32, k, ef int, mode string) (Outcome, error) {
+			out, err := okSearch(ctx, q, k, ef)
+			return Outcome{Neighbors: out, Route: mode}, err
+		},
+		SearchPrecision: func(ctx context.Context, q []float32, k, ef int, mode string, rt float64) (Outcome, error) {
+			gotTarget, gotMode = rt, mode
+			out, err := okSearch(ctx, q, k, ef)
+			return Outcome{Neighbors: out, Route: "tiered"}, err
+		},
+	})
+
+	w := postSearch(s, `{"query":[1,2,3],"k":4,"recall_target":0.9}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if gotTarget != 0.9 || gotMode != "" {
+		t.Fatalf("precision hook got (target=%v, mode=%q), want (0.9, \"\")", gotTarget, gotMode)
+	}
+	if resp := decodeResp(t, w); len(resp.Results) != 4 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := w.Header().Get(RouteHeader); got != "tiered" {
+		t.Fatalf("route header %q, want tiered", got)
+	}
+
+	// recall_target composes with an explicit mode: the precision hook wins
+	// the dispatch and receives the mode.
+	w = postSearch(s, `{"query":[1,2,3],"k":2,"mode":"exact","recall_target":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("mode+target status = %d, body %s", w.Code, w.Body)
+	}
+	if gotTarget != 1 || gotMode != "exact" {
+		t.Fatalf("precision hook got (target=%v, mode=%q), want (1, \"exact\")", gotTarget, gotMode)
+	}
+
+	if n := s.Metrics().RecallTargeted.Load(); n != 2 {
+		t.Fatalf("RecallTargeted = %d, want 2", n)
+	}
+	wv := httptest.NewRecorder()
+	s.Handler().ServeHTTP(wv, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]any
+	if err := json.Unmarshal(wv.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("vars JSON: %v", err)
+	}
+	serveVars := vars["serve"].(map[string]any)
+	if serveVars["recall_targeted"].(float64) != 2 {
+		t.Fatalf("vars recall_targeted = %v, want 2", serveVars["recall_targeted"])
+	}
+}
+
+// TestSearchRecallTargetValidation: out-of-range targets and targets on a
+// server without a precision backend are 400s, not silent fallbacks.
+func TestSearchRecallTargetValidation(t *testing.T) {
+	s := newTestServer(t, Config{
+		SearchPrecision: func(ctx context.Context, q []float32, k, ef int, mode string, rt float64) (Outcome, error) {
+			out, err := okSearch(ctx, q, k, ef)
+			return Outcome{Neighbors: out}, err
+		},
+	})
+	for _, body := range []string{
+		`{"query":[1],"recall_target":-0.5}`,
+		`{"query":[1],"recall_target":1.5}`,
+	} {
+		if w := postSearch(s, body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %s: status = %d, want 400", body, w.Code)
+		}
+	}
+	// Zero means "server default": served by the plain path, never the hook.
+	if w := postSearch(s, `{"query":[1],"recall_target":0}`); w.Code != http.StatusOK {
+		t.Fatalf("zero target: status = %d", w.Code)
+	}
+	if n := s.Metrics().RecallTargeted.Load(); n != 0 {
+		t.Fatalf("zero target counted as recall-targeted (%d)", n)
+	}
+
+	// No precision backend: an explicit target is an advertised capability
+	// mismatch.
+	s2 := newTestServer(t, Config{})
+	if w := postSearch(s2, `{"query":[1],"recall_target":0.9}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("no-backend status = %d, want 400", w.Code)
+	}
+	if s2.Metrics().BadRequests.Load() != 1 {
+		t.Fatal("no-backend rejection not counted")
+	}
+}

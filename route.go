@@ -49,8 +49,9 @@ func (db *Database) degradedRanks() int {
 	return db.sys.Breakers.DegradedRanks()
 }
 
-// tieredBudget resolves the database's configured cut budget (default 1:
-// provably exact).
+// tieredBudget resolves the database's configured static cut budget
+// (default 1: provably exact). Adaptive databases resolve through the
+// recall-target tuner instead — see tieredOpts in precision.go.
 func (db *Database) tieredBudget() float64 {
 	if b := db.opts.TieredBudget; b > 0 && b <= 1 {
 		return b
@@ -129,14 +130,12 @@ func (db *Database) tieredSearch(done <-chan struct{}, q []float32, k int, budge
 		}
 		return nn, TieredStats{Pool: db.Len(), RerankLines: lines, Cancelled: cancelled}, nil
 	}
-	if budget <= 0 || budget > 1 {
-		budget = db.tieredBudget()
-	}
 	s := db.getScratch()
 	defer db.putScratch(s)
 	qq := s.quantize(q, db.opts.Elem)
 	et := db.tieredEngine(s)
-	nn, st := et.TieredKNNInto(done, qq, k, core.TieredOpts{Budget: budget}, dst)
+	nn, st := et.TieredKNNInto(done, qq, k, db.tieredOpts(budget), dst)
+	db.observeTiered(k, st)
 	return nn, st, nil
 }
 
