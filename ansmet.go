@@ -42,6 +42,7 @@ import (
 	"ansmet/internal/hnsw"
 	"ansmet/internal/precision"
 	"ansmet/internal/vecmath"
+	"ansmet/internal/wal"
 )
 
 // Typed search-input errors, matched with errors.Is. Searches validate
@@ -179,6 +180,23 @@ type Options struct {
 	// no bound machinery to adapt).
 	RecallTarget float64
 
+	// Mutable switches the database into live-mutable mode: Add, Delete
+	// and Update become legal under concurrent search traffic, optionally
+	// journaled through a write-ahead log (AttachWAL / LoadFile). Requires
+	// an early-termination design (the encoded store is the incremental
+	// ingester; Base designs are rejected) and is incompatible with
+	// Advanced.Fault / Advanced.Resilience (their rank maps are frozen over
+	// the build population). See DESIGN.md, "Mutable index and durability
+	// semantics".
+	Mutable bool
+
+	// RepairEvery is the pending-delete batch size that triggers the
+	// deferred graph repair (edge excision around tombstoned nodes). Zero
+	// means 64; negative disables automatic repair (Maintain still forces
+	// one). The trigger is deterministic — it counts operations, not wall
+	// time — so crash recovery replays to an identical graph.
+	RepairEvery int
+
 	// Advanced exposes every platform knob; leave nil for defaults. When
 	// set, its Design field is overridden by Options.Design.
 	Advanced *core.SystemConfig
@@ -205,8 +223,10 @@ func (o *Options) fill() {
 	}
 }
 
-// Database is a built, preprocessed ANSMET instance over an immutable
-// vector population.
+// Database is a built, preprocessed ANSMET instance. The vector population
+// is immutable unless Options.Mutable enabled the live mutation path
+// (live.go): Add/Delete/Update then serialize behind mu while searches
+// stay concurrent and lock-free.
 type Database struct {
 	opts    Options
 	vectors [][]float32
@@ -217,6 +237,25 @@ type Database struct {
 	tuner *precision.Tuner
 
 	scratchPool sync.Pool // *searchScratch
+
+	// Live-mutation state (live.go). mutable and liveFilter are set before
+	// any concurrent use and read-only afterwards; everything else is
+	// guarded by mu, except muts (atomic counters).
+	mu          sync.Mutex // the single-mutation-writer lock
+	mutable     bool
+	liveFilter  func(uint32) bool // tombstone filter for the beam paths; nil when immutable
+	journal     *wal.Log          // nil until AttachWAL / LoadFile
+	walBase     uint64            // journal compaction point (snapshot's WALSeq)
+	walReplayed uint64            // records replayed at recovery
+	pending     []uint32          // tombstoned ids awaiting graph repair
+	closed      bool
+	muts        mutCounters
+}
+
+// mutCounters are the lifetime mutation totals, atomics so Stats reads
+// them without taking the writer lock.
+type mutCounters struct {
+	adds, deletes, updates, repairs atomic.Uint64
 }
 
 // searchScratch is the reusable per-search state: the quantized query
@@ -318,17 +357,36 @@ func New(vectors [][]float32, opts Options) (*Database, error) {
 		// catches up.
 		db.router.SetCostScale(RouteTiered, db.tuner.Target())
 	}
+	if opts.Mutable {
+		if err := db.enableMutation(); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
-// Len returns the number of indexed vectors.
-func (db *Database) Len() int { return len(db.vectors) }
+// Len returns the number of indexed vectors, including tombstoned ones on
+// a mutable database (a tombstone hides an id from results; it does not
+// unassign it).
+func (db *Database) Len() int {
+	if db.mutable {
+		return db.sys.Store.Len()
+	}
+	return len(db.vectors)
+}
 
 // Vector returns the stored (quantized) vector with the given id and
 // whether the id exists. Out-of-range ids return (nil, false) — ids are
 // routinely caller-controlled (request payloads, persisted result lists),
-// so this entry point must not panic on a bad one.
+// so this entry point must not panic on a bad one. Tombstoned ids still
+// resolve (the data remains until compaction); check Deleted to
+// distinguish.
 func (db *Database) Vector(id uint32) ([]float32, bool) {
+	if db.mutable {
+		// db.vectors is the writer's private slice; concurrent readers go
+		// through the store's published snapshot.
+		return db.sys.Store.VectorAt(id)
+	}
 	if int(id) >= len(db.vectors) {
 		return nil, false
 	}
@@ -365,7 +423,9 @@ func (db *Database) SearchInto(q []float32, k, ef int, dst []Neighbor) ([]Neighb
 	if batch < 1 {
 		batch = 1
 	}
-	return db.sys.Index.SearchBatchedInto(qq, k, ef, batch, s.eng, nil, dst), nil
+	// liveFilter (nil on an immutable database) keeps tombstoned ids out of
+	// the results; traversal still routes through them.
+	return db.sys.Index.SearchFilteredInto(qq, k, ef, batch, db.liveFilter, s.eng, nil, dst), nil
 }
 
 // ExactSearch returns the exact k nearest neighbors by scanning the whole
@@ -452,7 +512,8 @@ func (db *Database) Run(queries [][]float32, k, ef int) *core.RunResult {
 
 // SearchFiltered restricts results to ids accepted by the predicate
 // (attribute + vector hybrid search); traversal still crosses non-matching
-// vertices so the graph stays navigable.
+// vertices so the graph stays navigable. On a mutable database the
+// tombstone filter is applied in addition to the caller's predicate.
 func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool) ([]Neighbor, error) {
 	if err := db.validateQuery(q, k, k); err != nil {
 		return nil, err
@@ -468,7 +529,21 @@ func (db *Database) SearchFiltered(q []float32, k int, filter func(uint32) bool)
 	if batch < 1 {
 		batch = 1
 	}
-	return db.sys.Index.SearchFiltered(qq, k, ef, batch, filter, s.eng, nil), nil
+	return db.sys.Index.SearchFiltered(qq, k, ef, batch, db.combineFilter(filter), s.eng, nil), nil
+}
+
+// combineFilter merges the caller's predicate with the tombstone filter of
+// a mutable database. On an immutable database the predicate passes
+// through untouched (no wrapper allocation on the historical paths).
+func (db *Database) combineFilter(filter func(uint32) bool) func(uint32) bool {
+	if db.liveFilter == nil {
+		return filter
+	}
+	if filter == nil {
+		return db.liveFilter
+	}
+	lf := db.liveFilter
+	return func(id uint32) bool { return lf(id) && filter(id) }
 }
 
 // searchManyTestHook, when non-nil, runs before each SearchMany query;
@@ -610,7 +685,7 @@ func (db *Database) searchMany(done <-chan struct{}, queries [][]float32, k, ef,
 					}
 					qq := s.quantize(queries[i], db.opts.Elem)
 					var qc bool
-					s.buf, qc = db.sys.Index.SearchCancelInto(done, qq, k, ef, batch, nil, s.eng, nil, s.buf)
+					s.buf, qc = db.sys.Index.SearchCancelInto(done, qq, k, ef, batch, db.liveFilter, s.eng, nil, s.buf)
 					if qc {
 						// Mid-traversal cancel: drop the partial per-query
 						// result (per-query partials are not useful inside a
@@ -657,6 +732,19 @@ type Stats struct {
 	PrecisionClusters int
 	MeanDepthLines    float64
 
+	// Live-mutation state (zero unless Options.Mutable): lifetime mutation
+	// totals, the current tombstone count, the pending deferred-repair
+	// batch, and the journal position (zero when un-journaled).
+	Mutable       bool
+	Adds          uint64
+	Deletes       uint64
+	Updates       uint64
+	RepairBatches uint64
+	Tombstones    int
+	PendingRepair int
+	WALLastSeq    uint64
+	WALReplayed   uint64
+
 	// Resilience counters (zero unless Advanced.Fault or
 	// Advanced.Resilience.Enabled was set): lifetime totals across all
 	// searches on this database.
@@ -672,10 +760,25 @@ type Stats struct {
 // storage footprint) and resilience counters.
 func (db *Database) Stats() Stats {
 	s := Stats{
-		Vectors: len(db.vectors), Dim: db.sys.Dim,
+		Vectors: db.Len(), Dim: db.sys.Dim,
 		Design:            db.sys.Cfg.Design,
 		PreprocessSeconds: db.sys.PreprocessSeconds,
 		LinesPerVector:    db.sys.Engine.LinesPerVector(),
+	}
+	if db.mutable {
+		s.Mutable = true
+		s.Adds = db.muts.adds.Load()
+		s.Deletes = db.muts.deletes.Load()
+		s.Updates = db.muts.updates.Load()
+		s.RepairBatches = db.muts.repairs.Load()
+		s.Tombstones = db.sys.Tomb.Count()
+		db.mu.Lock()
+		s.PendingRepair = len(db.pending)
+		if db.journal != nil {
+			s.WALLastSeq = db.journal.LastSeq()
+		}
+		s.WALReplayed = db.walReplayed
+		db.mu.Unlock()
 	}
 	if st := db.sys.Store; st != nil {
 		s.PrefixBits = st.Prefix.PrefixLen

@@ -365,6 +365,58 @@ func BenchmarkSearchAllocs(b *testing.B) {
 	}
 }
 
+// benchMutatedDB builds a mutable database, applies a burst of journaled-
+// style mutations (adds, deletes, updates, a forced repair) and quiesces,
+// so BenchmarkSearchUnderMutation measures the live read path — view
+// capture, tombstone filter, store snapshot pinning — rather than an
+// immutable fast path.
+var benchMutatedDB = sync.OnceValue(func() *ansmet.Database {
+	ds := benchData()
+	db, err := ansmet.New(ds.Vectors, ansmet.Options{
+		Metric: ansmet.L2, Elem: ansmet.Uint8, EfConstruction: 100,
+		Mutable: true, RepairEvery: 16,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 64; i++ {
+		switch i % 4 {
+		case 0, 1:
+			_, err = db.Add(ds.Vectors[i])
+		case 2:
+			err = db.Delete(uint32(3 * i))
+		default:
+			_, err = db.Update(uint32(3*i), ds.Vectors[i+1])
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	db.Maintain()
+	return db
+})
+
+// BenchmarkSearchUnderMutation is BenchmarkSearchAllocs on a database that
+// has lived: vectors appended, ids tombstoned, the graph repaired. The
+// benchgate budget pins allocs/op at 0 — mutation support must not cost
+// the read hot path a single allocation.
+func BenchmarkSearchUnderMutation(b *testing.B) {
+	db := benchMutatedDB()
+	ds := benchData()
+	var dst []ansmet.Neighbor
+	var err error
+	if dst, err = db.SearchInto(ds.Queries[0], 10, 64, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = db.SearchInto(ds.Queries[i%len(ds.Queries)], 10, 64, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchWithDeadline measures the steady-state cost of the
 // deadline-aware path (SearchCtxInto with a live context): the cooperative
 // cancellation checkpoints must keep the gated budget of 0 allocs/op, and

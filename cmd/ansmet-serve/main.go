@@ -15,6 +15,8 @@
 // Endpoints:
 //
 //	POST /v1/search  {"query":[...], "k":10, "ef":64, "timeout_ms":500}
+//	POST /v1/upsert  {"vector":[...]} or {"id":7,"vector":[...]} (-mutable)
+//	POST /v1/delete  {"id":7}                                    (-mutable)
 //	GET  /v1/health  liveness (200 while the process runs)
 //	GET  /v1/ready   readiness (503 while draining)
 //	GET  /debug/vars serving + admission (+ cluster) counters, JSON
@@ -67,11 +69,15 @@ func main() {
 		partition  = flag.String("partition", "hash", "shard partitioning scheme (hash, kmeans)")
 		clusterDir = flag.String("cluster-dir", "", "cluster snapshot directory: load if a manifest exists, else build and save into it (requires -shards)")
 		noHedge    = flag.Bool("no-hedge", false, "disable hedged requests to slow shards")
+		mutable    = flag.Bool("mutable", false, "enable live mutation (POST /v1/upsert, /v1/delete); implied when -db holds a live snapshot")
+		walPath    = flag.String("wal", "", "journal path for crash-safe mutation (default: <db>.wal next to the snapshot; empty without -db: unjournaled)")
 	)
 	flag.Parse()
 
 	cfg := serve.Config{
-		BadRequest:     ansmet.IsInvalidInput,
+		BadRequest: func(err error) bool {
+			return ansmet.IsInvalidInput(err) || ansmet.IsMutationError(err)
+		},
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
 		MaxBodyBytes:   *body,
@@ -85,6 +91,9 @@ func main() {
 	}
 
 	if *shards > 0 || *clusterDir != "" {
+		if *mutable || *walPath != "" {
+			log.Fatalf("ansmet-serve: -mutable/-wal serve a single live database; sharded serving is immutable")
+		}
 		cl, err := openCluster(*dbPath, *profile, *partition, *clusterDir, *synth, *shards, *conc, *noHedge)
 		if err != nil {
 			log.Fatalf("ansmet-serve: %v", err)
@@ -124,9 +133,38 @@ func main() {
 			return vars
 		}
 	} else {
-		db, err := openDatabase(*dbPath, *profile, *synth)
+		db, err := openDatabase(*dbPath, *profile, *synth, *mutable)
 		if err != nil {
 			log.Fatalf("ansmet-serve: %v", err)
+		}
+		if db.Mutable() {
+			// A live snapshot auto-attached <db>.wal in LoadFile; -wal
+			// overrides it (or journals a synthetic demo database).
+			if *walPath != "" {
+				if err := db.AttachWAL(*walPath); err != nil {
+					log.Fatalf("ansmet-serve: attaching journal %s: %v", *walPath, err)
+				}
+			}
+			if j := db.WALPath(); j != "" {
+				log.Printf("mutation journal: %s", j)
+			} else {
+				log.Printf("WARNING: mutable without a journal (-wal); mutations are lost on crash")
+			}
+			cfg.Upsert = func(ctx context.Context, id uint32, hasID bool, vec []float32) (uint32, error) {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				if hasID {
+					return db.Update(id, vec)
+				}
+				return db.Add(vec)
+			}
+			cfg.Delete = func(ctx context.Context, id uint32) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return db.Delete(id)
+			}
 		}
 		st := db.Stats()
 		log.Printf("database ready: %d vectors, dim %d, design %v", st.Vectors, st.Dim, st.Design)
@@ -153,6 +191,19 @@ func main() {
 			vars := map[string]any{"router": db.RouterStats()}
 			if ps := db.PrecisionStats(); ps.Enabled {
 				vars["precision"] = ps
+			}
+			if db.Mutable() {
+				st := db.Stats()
+				vars["mutation"] = map[string]any{
+					"adds":           st.Adds,
+					"deletes":        st.Deletes,
+					"updates":        st.Updates,
+					"repair_batches": st.RepairBatches,
+					"tombstones":     st.Tombstones,
+					"pending_repair": st.PendingRepair,
+					"wal_last_seq":   st.WALLastSeq,
+					"wal_replayed":   st.WALReplayed,
+				}
 			}
 			return vars
 		}
@@ -207,12 +258,17 @@ func clusterOutcome(res ansmet.ClusterResult) serve.Outcome {
 	return out
 }
 
-// openDatabase loads a snapshot or builds a synthetic demo database.
-func openDatabase(path, profile string, synth int) (*ansmet.Database, error) {
+// openDatabase loads a snapshot or builds a synthetic demo database. A
+// live snapshot comes back mutable regardless of the flag (replaying its
+// journal); -mutable additionally makes a synthetic build mutable.
+func openDatabase(path, profile string, synth int, mutable bool) (*ansmet.Database, error) {
 	if path != "" {
 		db, err := ansmet.LoadFile(path, nil)
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		if mutable && !db.Mutable() {
+			return nil, fmt.Errorf("%s is an immutable snapshot; rebuild with Options.Mutable to serve writes", path)
 		}
 		return db, nil
 	}
@@ -224,6 +280,7 @@ func openDatabase(path, profile string, synth int) (*ansmet.Database, error) {
 	log.Printf("building synthetic %s database (%d vectors, dim %d)...", profile, synth, p.Dim)
 	return ansmet.New(ds.Vectors, ansmet.Options{
 		Metric: p.Metric, Elem: p.Elem, EfConstruction: 100, Seed: 42,
+		Mutable: mutable,
 	})
 }
 

@@ -114,7 +114,48 @@ func (db *Database) SearchCtxInto(ctx context.Context, q []float32, k, ef int, d
 	if batch < 1 {
 		batch = 1
 	}
-	out, cancelled := db.sys.Index.SearchCancelInto(ctx.Done(), qq, k, ef, batch, nil, s.eng, nil, dst)
+	out, cancelled := db.sys.Index.SearchCancelInto(ctx.Done(), qq, k, ef, batch, db.liveFilter, s.eng, nil, dst)
+	if cancelled {
+		return out, cancelErr(ctx, len(out) > 0)
+	}
+	return out, nil
+}
+
+// SearchFilteredCtx is SearchFiltered with cooperative cancellation: the
+// traversal polls ctx.Done() at the same amortized checkpoints as
+// SearchCtx, and the filtered result set built so far is returned with a
+// *CancelError when the context fires. On a mutable database the
+// tombstone filter rides the same path, applied in addition to the
+// caller's predicate.
+func (db *Database) SearchFilteredCtx(ctx context.Context, q []float32, k int, filter func(uint32) bool) ([]Neighbor, error) {
+	ef := 2 * k
+	if ef < 32 {
+		ef = 32
+	}
+	return db.SearchFilteredCtxInto(ctx, q, k, ef, filter, nil)
+}
+
+// SearchFilteredCtxInto is SearchFilteredCtx with an explicit beam width,
+// appending results into dst[:0]. With a reused dst and a closure-free
+// predicate the un-cancelled steady state performs zero heap allocations
+// beyond the combined-filter wrapper a mutable database needs to merge the
+// predicate with its tombstone bitmap (immutable databases pass the
+// predicate straight through).
+func (db *Database) SearchFilteredCtxInto(ctx context.Context, q []float32, k, ef int, filter func(uint32) bool, dst []Neighbor) ([]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(ctx, false)
+	}
+	if err := db.validateQuery(q, k, ef); err != nil {
+		return nil, err
+	}
+	s := db.getScratch()
+	defer db.putScratch(s)
+	qq := s.quantize(q, db.opts.Elem)
+	batch := db.sys.Cfg.BeamBatch
+	if batch < 1 {
+		batch = 1
+	}
+	out, cancelled := db.sys.Index.SearchCancelInto(ctx.Done(), qq, k, ef, batch, db.combineFilter(filter), s.eng, nil, dst)
 	if cancelled {
 		return out, cancelErr(ctx, len(out) > 0)
 	}

@@ -40,7 +40,7 @@ func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []h
 	e.StartQuery(q)
 	heap := &e.knnHeap
 	heap.Reset()
-	n := uint32(e.store.Len())
+	n := uint32(len(e.vecs)) // the per-query store snapshot's bound
 
 	// Phase 1: pre-fill the heap with the first k candidates' exact
 	// distances (threshold ∞ — every Compare is a full fetch and always
@@ -55,6 +55,9 @@ func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []h
 	}
 	id := uint32(0)
 	for ; id < n && heap.Len() < k; id++ {
+		if e.tomb != nil && e.tomb.IsDeleted(id) {
+			continue
+		}
 		r := e.compareExact(id, math.Inf(1))
 		linesFetched += r.TotalLines()
 		heap.Push(hnsw.Neighbor{ID: id, Dist: r.Dist})
@@ -75,6 +78,9 @@ func (e *ETEngine) ExactKNNCtx(done <-chan struct{}, q []float32, k int) (nn []h
 			if cancelled {
 				break
 			}
+		}
+		if e.tomb != nil && e.tomb.IsDeleted(id) {
+			continue
 		}
 		r := e.compareExact(id, heap.Top().Dist)
 		linesFetched += r.TotalLines()

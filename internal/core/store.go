@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ansmet/internal/bitplane"
 	"ansmet/internal/engine"
@@ -14,7 +15,8 @@ import (
 // Store holds one dataset encoded in a transformed early-termination
 // layout, plus (when prefix elimination is on) the outlier flags and the
 // implicit full-precision backup region. It is immutable after Build and
-// shared by all engines over it.
+// shared by all engines over it, unless EnableMutation switches it into
+// live-append mode (see mutable.go).
 type Store struct {
 	Elem   vecmath.ElemType
 	Dim    int
@@ -29,6 +31,14 @@ type Store struct {
 	// re-check.
 	backupLines int
 	numOutliers int
+
+	// dyn is non-nil once EnableMutation has been called: the published
+	// snapshot of the growable arrays (mutable.go). Nil keeps every read
+	// on the plain fields above, byte-identical to the immutable store.
+	dyn atomic.Pointer[storeDyn]
+	// encCodes/encSuffix are AppendVector's writer-only encode scratch.
+	encCodes  []uint32
+	encSuffix []uint32
 }
 
 // BuildStore encodes all vectors under the given schedule and prefix
@@ -106,10 +116,20 @@ func (s *Store) SlotLines() int { return s.slotLines }
 func (s *Store) BackupLines() int { return s.backupLines }
 
 // NumOutliers returns how many vectors use the outlier encoding.
-func (s *Store) NumOutliers() int { return s.numOutliers }
+func (s *Store) NumOutliers() int {
+	if d := s.dyn.Load(); d != nil {
+		return d.numOutliers
+	}
+	return s.numOutliers
+}
 
 // Len returns the vector count.
-func (s *Store) Len() int { return len(s.vectors) }
+func (s *Store) Len() int {
+	if d := s.dyn.Load(); d != nil {
+		return len(d.vectors)
+	}
+	return len(s.vectors)
+}
 
 // SpaceSavedFraction returns the fraction of payload bits that prefix
 // elimination strips from normal vectors (the paper's Table 5 "saved
@@ -151,6 +171,15 @@ type ETEngine struct {
 	// table (scratch, reset per call).
 	tierHeap    maxHeap
 	tierEntries []boundEntry
+	// vecs/sdata/soutl are the per-query store snapshot pinned by
+	// StartQuery (mutable.go); on an immutable store they alias the
+	// store's plain fields.
+	vecs  [][]float32
+	sdata []byte
+	soutl []bool
+	// tomb, when non-nil, is the deletion bitmap the exact and tiered
+	// scans consult (SetTombstones).
+	tomb *TombSet
 }
 
 var _ engine.Engine = (*ETEngine)(nil)
@@ -212,6 +241,7 @@ func (e *ETEngine) localThreshold(th float64) float64 {
 // StartQuery implements engine.Engine.
 func (e *ETEngine) StartQuery(q []float32) {
 	e.query = q
+	e.snapshotStore()
 	e.b.ResetQuery(q)
 	if e.ob != nil {
 		e.ob.ResetQuery(q)
@@ -243,7 +273,7 @@ func (e *ETEngine) SetPrecision(pm *precision.Map, bias int, margin float64) {
 // mode (SetPrecision) normal vectors take the capped-depth escalation path
 // instead, whose margin-slack accepts are approximate.
 func (e *ETEngine) Compare(id uint32, threshold float64) engine.Result {
-	if e.prec != nil && !(e.ob != nil && e.store.isOutlier[int(id)]) {
+	if e.prec != nil && !(e.ob != nil && e.soutl[int(id)]) {
 		return e.compareAdaptive(id, threshold)
 	}
 	return e.compareExact(id, threshold)
@@ -252,8 +282,8 @@ func (e *ETEngine) Compare(id uint32, threshold float64) engine.Result {
 // compareExact is the fixed-precision comparison: the exact-result contract
 // every invariant-bound caller (ExactKNN, tiered stage 2) pins itself to.
 func (e *ETEngine) compareExact(id uint32, threshold float64) engine.Result {
-	data := e.store.slot(id)
-	if e.ob != nil && e.store.isOutlier[int(id)] {
+	data := e.slot(id)
+	if e.ob != nil && e.soutl[int(id)] {
 		e.ob.Reset()
 		lb, lines := e.ob.RunET(data, threshold)
 		if lb > threshold {
@@ -264,7 +294,7 @@ func (e *ETEngine) compareExact(id uint32, threshold float64) engine.Result {
 			return engine.Result{Dist: lb, Accepted: true, Lines: lines, LinesLocal: lines, Outlier: true}
 		}
 		// In-bound on the lossy encoding: re-check against the backup.
-		d := e.metric.Distance(e.query, e.store.vectors[id])
+		d := e.metric.Distance(e.query, e.vecs[id])
 		return engine.Result{
 			Dist: d, Accepted: d <= threshold,
 			Lines: lines, LinesLocal: lines,
@@ -287,7 +317,7 @@ func (e *ETEngine) compareExact(id uint32, threshold float64) engine.Result {
 // top-k margin means the candidate's rank genuinely depends on the unseen
 // planes, a slack one means the partial bound already settles it.
 func (e *ETEngine) compareAdaptive(id uint32, threshold float64) engine.Result {
-	data := e.store.slot(id)
+	data := e.slot(id)
 	lim := e.store.Layout.LinesPerVector()
 	depth := e.prec.Lines(id) + e.precBias
 	if depth < 1 {

@@ -125,6 +125,10 @@ type System struct {
 	// the layout params; nil unless RecallTarget enabled it.
 	Precision *precision.Map
 
+	// Tomb is the deletion bitmap of a live-mutable system; nil until
+	// EnableMutation. Consulted by every engine this system hands out.
+	Tomb *TombSet
+
 	// PreprocessSeconds is the wall time of the offline pass: sampling,
 	// parameter search and layout transformation (Table 4).
 	PreprocessSeconds float64
@@ -312,6 +316,34 @@ func (s *System) analyze(vectors [][]float32, cfg SystemConfig) (*layout.Analysi
 	return layout.Analyze(sample, s.Elem, s.Metric, cfg.LayoutOpts)
 }
 
+// EnableMutation switches the system into live-mutable mode: the store
+// accepts appends, the index accepts inserts/repairs, a tombstone bitmap
+// is installed, and every engine (shared and worker) consults it on the
+// scan paths. Mutation requires an early-termination design (the store is
+// the incremental encoder) and is incompatible with fault injection and
+// resilience wrapping: the partition's serving-rank map and the exact
+// fallback engine are both frozen over the build-time population, so a
+// wrapped engine could route an appended id to a rank that never heard of
+// it. Must be called before any concurrent use.
+func (s *System) EnableMutation() error {
+	if s.Store == nil {
+		return fmt.Errorf("core: mutation requires an early-termination design (no encoded store)")
+	}
+	if s.Injector != nil || s.Faults != nil || s.Cfg.Resilience.Enabled {
+		return fmt.Errorf("core: mutation is incompatible with fault injection / resilience wrapping")
+	}
+	if s.Tomb != nil {
+		return nil
+	}
+	s.Tomb = NewTombSet()
+	s.Store.EnableMutation()
+	s.Index.EnableMutation()
+	if ee, ok := s.Engine.(*ETEngine); ok {
+		ee.SetTombstones(s.Tomb)
+	}
+	return nil
+}
+
 // resilienceBaseline snapshots the shared counters before a run, so the
 // attached report shows per-run deltas rather than lifetime totals.
 func (s *System) resilienceBaseline() (engine.CounterSnapshot, uint64) {
@@ -467,6 +499,9 @@ func (s *System) NewWorkerEngine() engine.Engine {
 			// mixing margin-slack accepts into degraded results would break
 			// the bitwise fixed/adaptive degradation identity.
 			e.SetPrecision(s.Precision, 0, precision.MarginForTarget(s.Cfg.RecallTarget))
+		}
+		if s.Tomb != nil {
+			e.SetTombstones(s.Tomb)
 		}
 		base = e
 	} else {

@@ -181,7 +181,7 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 
 	var st TieredStats
 	e.StartQuery(q)
-	n := uint32(e.store.Len())
+	n := uint32(len(e.vecs)) // the per-query store snapshot's bound
 
 	// Stage 1: bound-only scan. tierHeap tracks the k smallest bounds seen
 	// so far; its top is the refinement stop — once an id's bound exceeds
@@ -203,14 +203,17 @@ func (e *ETEngine) tieredKNN(done <-chan struct{}, q []float32, k int, opt Tiere
 			default:
 			}
 		}
+		if e.tomb != nil && e.tomb.IsDeleted(id) {
+			continue // tombstoned: never bounded, never enters stage 2
+		}
 		stopAt := math.Inf(1)
 		if bh.Len() >= k {
 			stopAt = bh.Top().Dist
 		}
 		var lb float64
 		var lines int
-		data := e.store.slot(id)
-		if e.ob != nil && e.store.isOutlier[int(id)] {
+		data := e.slot(id)
+		if e.ob != nil && e.soutl[int(id)] {
 			depth := maxLines
 			if pm != nil {
 				if d := pm.ScaledLines(id, e.ob.Lines()) + opt.DepthBias; d < depth {

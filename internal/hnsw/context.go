@@ -41,17 +41,20 @@ type searchContext struct {
 	cand    nheap // min-heap: closest first
 	results nheap // max-heap: worst first
 	ids     []uint32
+	nbuf    []uint32 // live-mode neighbor-list copy scratch (mutate.go)
 }
 
 // getCtx fetches a context from the pool (or makes one) and resets it for a
-// new query. The pool has no New func so that zero-valued pools embedded in
-// snapshot-loaded indexes work identically.
-func (ix *Index) getCtx() *searchContext {
+// new query over n ids — the caller's visibility bound, which on a live
+// index may be smaller than the backing arrays. The pool has no New func so
+// that zero-valued pools embedded in snapshot-loaded indexes work
+// identically.
+func (ix *Index) getCtx(n int) *searchContext {
 	c, _ := ix.ctxPool.Get().(*searchContext)
 	if c == nil {
 		c = &searchContext{results: nheap{max: true}}
 	}
-	c.vis.reset(len(ix.vectors))
+	c.vis.reset(n)
 	c.cand.Reset()
 	c.results.Reset()
 	c.ids = c.ids[:0]

@@ -53,6 +53,11 @@ type Index struct {
 	entry     uint32
 	maxLevel  int
 
+	// live is non-nil once EnableMutation has been called; see mutate.go
+	// for the publication protocol. Nil keeps every path byte-identical
+	// to the immutable index.
+	live *liveState
+
 	ctxPool sync.Pool // *searchContext, see context.go
 }
 
@@ -148,7 +153,7 @@ func (ix *Index) greedyLayer(q []float32, cur uint32, curDist float64, level int
 
 // searchLayerExact is the construction-time beam search (always exact).
 func (ix *Index) searchLayerExact(q []float32, eps []Neighbor, ef, level int) []Neighbor {
-	ctx := ix.getCtx()
+	ctx := ix.getCtx(len(ix.vectors))
 	defer ix.putCtx(ctx)
 	visited := &ctx.vis
 	cand := &ctx.cand
@@ -243,6 +248,10 @@ func (ix *Index) connect(src, dst uint32, level int) {
 		if n == dst {
 			return
 		}
+	}
+	if ix.live != nil {
+		ix.connectLive(src, dst, level, lst)
+		return
 	}
 	lst = append(lst, dst)
 	if len(lst) > ix.cfg.MaxDegree {

@@ -1,0 +1,282 @@
+package hnsw
+
+// Live mutation support. An Index is immutable after Build unless
+// EnableMutation is called; a live index accepts Insert and Repair from a
+// SINGLE mutating writer (the Database serializes mutations behind its
+// write lock) while any number of searches run concurrently, lock-free on
+// the hot path except for per-node stripe mutexes taken only while copying
+// one neighbor list.
+//
+// The publication protocol is RCU-style with three atomics:
+//
+//	arrays — *nodeArrays holding the vectors/levels/neighbors slice
+//	         headers. Republished on every insert (appends may grow the
+//	         backing arrays; old readers keep the old, shorter headers).
+//	count  — the number of fully-initialized nodes. A node's vector,
+//	         level and (empty) neighbor lists are written before count
+//	         publishes it, so count.Load() is a safe upper bound on the
+//	         ids a reader may touch.
+//	epoch  — the routing entry point and top level, packed into one
+//	         word so they are always read consistently.
+//
+// Writer order:  write node → publish arrays → publish count → link
+// edges (stripe-locked list swaps) → publish epoch.
+// Reader order:  load epoch → load count → load arrays. The acquire on
+// epoch makes the preceding count store visible, so entry < count, and
+// the acquire on count makes the preceding arrays store visible, so
+// len(arrays) >= count. Edges linked to nodes beyond a reader's count
+// snapshot are filtered out during the stripe-locked list copy.
+//
+// Neighbor lists of published nodes are never mutated in place: connect
+// and removeEdge build a fresh list and swap the slice header under the
+// node's stripe lock, which readers also hold while copying the list into
+// pooled scratch. In-place pruning (the lst[:0] reuse of the immutable
+// build path) would tear lists under a concurrent copy.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	stripeCount = 512
+	stripeMask  = stripeCount - 1
+)
+
+// nodeArrays is one RCU publication of the index's node storage.
+type nodeArrays struct {
+	vectors   [][]float32
+	levels    []int
+	neighbors [][][]uint32
+}
+
+// liveState is the concurrent-mutation state of a live index.
+type liveState struct {
+	arrays  atomic.Pointer[nodeArrays]
+	count   atomic.Int64
+	epoch   atomic.Uint64 // entry<<32 | uint32(maxLevel+1)
+	stripes [stripeCount]sync.Mutex
+}
+
+func packEpoch(entry uint32, maxLevel int) uint64 {
+	return uint64(entry)<<32 | uint64(uint32(maxLevel+1))
+}
+
+func unpackEpoch(e uint64) (entry uint32, maxLevel int) {
+	return uint32(e >> 32), int(uint32(e)) - 1
+}
+
+// EnableMutation switches the index into live mode: Insert and Repair
+// become legal (from one writer at a time) and searches route through the
+// publication protocol above. Must be called before any concurrent use.
+// Idempotent.
+func (ix *Index) EnableMutation() {
+	if ix.live != nil {
+		return
+	}
+	live := &liveState{}
+	live.arrays.Store(&nodeArrays{vectors: ix.vectors, levels: ix.levels, neighbors: ix.neighbors})
+	live.count.Store(int64(len(ix.vectors)))
+	live.epoch.Store(packEpoch(ix.entry, ix.maxLevel))
+	ix.live = live
+}
+
+// Live reports whether the index accepts mutation.
+func (ix *Index) Live() bool { return ix.live != nil }
+
+// levelFor assigns node id its level from a hash of (seed, id) rather than
+// a sequential RNG draw. Build keeps the sequential RNG (byte-identical
+// graphs for existing snapshots); inserts use the hash so that the level —
+// and therefore the graph — depends only on the set of (seed, id) pairs,
+// making WAL replay deterministic regardless of how construction and
+// recovery interleave.
+func levelFor(seed uint64, id uint32, mL float64) int {
+	x := seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53) // in [0, 1)
+	return int(-math.Log(1-u) * mL)
+}
+
+// Insert adds vec as a new node, links it into the graph, and returns its
+// id (the next dense id). Must only be called on a live index by a single
+// writer; searches may run concurrently.
+func (ix *Index) Insert(vec []float32) uint32 {
+	if ix.live == nil {
+		panic("hnsw: Insert on an immutable index (call EnableMutation first)")
+	}
+	id := uint32(len(ix.vectors))
+	lvl := levelFor(ix.cfg.Seed, id, 1/math.Log(float64(ix.cfg.M)))
+	ix.vectors = append(ix.vectors, vec)
+	ix.levels = append(ix.levels, lvl)
+	ix.neighbors = append(ix.neighbors, make([][]uint32, lvl+1))
+	ix.live.arrays.Store(&nodeArrays{vectors: ix.vectors, levels: ix.levels, neighbors: ix.neighbors})
+	ix.live.count.Store(int64(id) + 1)
+	ix.insert(id) // links edges; connect swaps lists under stripe locks
+	ix.live.epoch.Store(packEpoch(ix.entry, ix.maxLevel))
+	return id
+}
+
+// Repair excises deleted nodes from the graph: each is removed from its
+// neighbors' adjacency lists, its still-alive neighbors are cross-connected
+// (preserving local connectivity through the hole), and its own lists are
+// cleared. The current entry point is skipped — it stays routable until a
+// later insert raises a new top-level node; tombstone filtering keeps it
+// out of results either way. Writer-side: same single-writer contract as
+// Insert.
+func (ix *Index) Repair(deleted []uint32, alive func(uint32) bool) {
+	if ix.live == nil || len(deleted) == 0 {
+		return
+	}
+	dead := make(map[uint32]bool, len(deleted))
+	for _, d := range deleted {
+		if int(d) < len(ix.vectors) && d != ix.entry {
+			dead[d] = true
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	// Cross-connect each hole's surviving neighborhood first, in the given
+	// (deterministic) order, so routing paths through a deleted node are
+	// replaced before the node's edges disappear.
+	for _, d := range deleted {
+		if !dead[d] {
+			continue
+		}
+		for l := len(ix.neighbors[d]) - 1; l >= 0; l-- {
+			nbs := ix.neighbors[d][l]
+			keep := make([]uint32, 0, len(nbs))
+			for _, n := range nbs {
+				if !dead[n] && (alive == nil || alive(n)) {
+					keep = append(keep, n)
+				}
+			}
+			for i, a := range keep {
+				for _, b := range keep[i+1:] {
+					ix.connect(a, b, l)
+					ix.connect(b, a, l)
+				}
+			}
+		}
+	}
+	// HNSW edges are not symmetric, so in-edges to a deleted node can come
+	// from anywhere: sweep every adjacency list once, dropping dead ids.
+	// Batched deferred repair amortizes this O(nodes·degree) pass.
+	for i := range ix.neighbors {
+		if dead[uint32(i)] {
+			continue
+		}
+		for l, lst := range ix.neighbors[i] {
+			hit := false
+			for _, n := range lst {
+				if dead[n] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			nl := make([]uint32, 0, len(lst)-1)
+			for _, n := range lst {
+				if !dead[n] {
+					nl = append(nl, n)
+				}
+			}
+			mu := &ix.live.stripes[uint32(i)&stripeMask]
+			mu.Lock()
+			ix.neighbors[i][l] = nl
+			mu.Unlock()
+		}
+	}
+	// Finally clear the deleted nodes' own lists.
+	for _, d := range deleted {
+		if !dead[d] {
+			continue
+		}
+		for l := range ix.neighbors[d] {
+			mu := &ix.live.stripes[d&stripeMask]
+			mu.Lock()
+			ix.neighbors[d][l] = nil
+			mu.Unlock()
+		}
+	}
+}
+
+// connectLive is connect's mutation tail for a live index: the published
+// list is never touched in place; a fresh list is built (appended, pruned
+// if overflowing) and the header swapped under src's stripe lock.
+func (ix *Index) connectLive(src, dst uint32, level int, lst []uint32) {
+	nl := make([]uint32, len(lst), len(lst)+1)
+	copy(nl, lst)
+	nl = append(nl, dst)
+	if len(nl) > ix.cfg.MaxDegree {
+		cands := make([]Neighbor, len(nl))
+		for i, n := range nl {
+			cands[i] = Neighbor{ID: n, Dist: ix.metric.SquaredDistance(ix.vectors[src], ix.vectors[n])}
+		}
+		sortNeighbors(cands)
+		sel := ix.selectHeuristic(ix.vectors[src], cands, ix.cfg.MaxDegree)
+		nl = nl[:0]
+		for _, s := range sel {
+			nl = append(nl, s.ID)
+		}
+	}
+	mu := &ix.live.stripes[src&stripeMask]
+	mu.Lock()
+	ix.neighbors[src][level] = nl
+	mu.Unlock()
+}
+
+// liveView is one search's consistent snapshot of the graph: routing
+// state, the id visibility bound, and the node arrays backing it.
+type liveView struct {
+	entry     uint32
+	maxLevel  int
+	count     int
+	neighbors [][][]uint32
+	live      *liveState // nil: immutable index, direct reads
+}
+
+// view captures a consistent snapshot for one traversal. On an immutable
+// index this is a plain struct fill — no atomics, no behavior change.
+func (ix *Index) view() liveView {
+	if ix.live == nil {
+		return liveView{entry: ix.entry, maxLevel: ix.maxLevel, count: len(ix.vectors), neighbors: ix.neighbors}
+	}
+	entry, maxLevel := unpackEpoch(ix.live.epoch.Load())
+	n := int(ix.live.count.Load())
+	arr := ix.live.arrays.Load()
+	return liveView{entry: entry, maxLevel: maxLevel, count: n, neighbors: arr.neighbors, live: ix.live}
+}
+
+// neighborsAt returns the adjacency list of id at level. Immutable: the
+// list itself. Live: a stripe-locked copy into ctx.nbuf with ids at or
+// beyond the view's count bound filtered out (they were linked by inserts
+// newer than this snapshot); the returned slice is valid until the next
+// neighborsAt call on the same ctx.
+func (v *liveView) neighborsAt(id uint32, level int, ctx *searchContext) []uint32 {
+	nbs := v.neighbors[id]
+	if level >= len(nbs) {
+		return nil
+	}
+	if v.live == nil {
+		return nbs[level]
+	}
+	buf := ctx.nbuf[:0]
+	mu := &v.live.stripes[id&stripeMask]
+	mu.Lock()
+	for _, nb := range nbs[level] {
+		if int(nb) < v.count {
+			buf = append(buf, nb)
+		}
+	}
+	mu.Unlock()
+	ctx.nbuf = buf
+	return buf
+}

@@ -1,0 +1,189 @@
+package hnsw
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ansmet/internal/dataset"
+	"ansmet/internal/engine"
+)
+
+// buildLive builds an index over the first `base` of n vectors and inserts
+// the rest live, returning the dataset and the index.
+func buildLive(t *testing.T, n, base int) (*dataset.Dataset, *Index) {
+	t.Helper()
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, n, 20, 42)
+	cfg := Config{M: 8, MaxDegree: 16, EfConstruction: 100, Seed: 1}
+	// Full-capacity slicing so live appends never write into the shared
+	// backing array the test's engine reads.
+	ix, err := Build(ds.Vectors[:base:base], p.Metric, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.EnableMutation()
+	for i := base; i < n; i++ {
+		if id := ix.Insert(ds.Vectors[i]); id != uint32(i) {
+			t.Fatalf("Insert %d returned id %d", i, id)
+		}
+	}
+	return ds, ix
+}
+
+func TestInsertGrowsSearchableGraph(t *testing.T) {
+	ds, ix := buildLive(t, 600, 300)
+	if ix.Size() != 600 {
+		t.Fatalf("Size %d, want 600", ix.Size())
+	}
+	// Graph invariants hold across the build/insert boundary.
+	for i := 0; i < 600; i++ {
+		for l := 0; l <= ix.Level(uint32(i)); l++ {
+			nbs := ix.Neighbors(uint32(i), l)
+			if len(nbs) > 16 {
+				t.Fatalf("node %d level %d degree %d > cap", i, l, len(nbs))
+			}
+			for _, nb := range nbs {
+				if int(nb) >= 600 {
+					t.Fatalf("edge to nonexistent node %d", nb)
+				}
+				if nb == uint32(i) {
+					t.Fatalf("self loop at node %d", i)
+				}
+			}
+		}
+	}
+	// Inserted vectors are found: searching for an inserted vector itself
+	// must return it at distance 0.
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	missed := 0
+	for i := 300; i < 600; i++ {
+		res := ix.Search(ds.Vectors[i], 1, 64, eng, nil)
+		if len(res) == 0 || res[0].ID != uint32(i) || res[0].Dist != 0 {
+			missed++
+		}
+	}
+	if missed > 3 { // beam search is approximate; self-recall must be near-perfect
+		t.Fatalf("%d/300 inserted vectors not self-retrievable", missed)
+	}
+	// And overall recall against ground truth stays reasonable.
+	gt := ds.GroundTruth(10)
+	sum := 0.0
+	for qi, q := range ds.Queries {
+		res := ix.Search(q, 10, 100, eng, nil)
+		got := make([]uint32, len(res))
+		for i, n := range res {
+			got[i] = n.ID
+		}
+		sum += dataset.RecallAtK(got, gt[qi])
+	}
+	if r := sum / float64(len(ds.Queries)); r < 0.85 {
+		t.Fatalf("recall@10 after live inserts = %.3f", r)
+	}
+}
+
+// TestInsertDeterministic is the WAL-replay property at the graph layer:
+// re-inserting the same ids into the same base graph yields a bit-identical
+// graph, because levels derive from hash(seed, id), not RNG draw order.
+func TestInsertDeterministic(t *testing.T) {
+	_, a := buildLive(t, 400, 200)
+	_, b := buildLive(t, 400, 200)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Entry != sb.Entry || sa.MaxLevel != sb.MaxLevel {
+		t.Fatalf("entry/maxLevel diverged: (%d,%d) vs (%d,%d)", sa.Entry, sa.MaxLevel, sb.Entry, sb.MaxLevel)
+	}
+	if !reflect.DeepEqual(sa.Levels, sb.Levels) {
+		t.Fatal("levels diverged across identical insert sequences")
+	}
+	if !reflect.DeepEqual(sa.Neighbors, sb.Neighbors) {
+		t.Fatal("adjacency diverged across identical insert sequences")
+	}
+}
+
+func TestRepairExcisesDeleted(t *testing.T) {
+	_, ix := buildLive(t, 400, 300)
+	dead := map[uint32]bool{}
+	var deleted []uint32
+	for id := uint32(10); id < 400; id += 37 {
+		if id == ix.Entry() {
+			continue
+		}
+		dead[id] = true
+		deleted = append(deleted, id)
+	}
+	ix.Repair(deleted, func(id uint32) bool { return !dead[id] })
+	for _, d := range deleted {
+		for l := 0; l <= ix.Level(d); l++ {
+			if nbs := ix.Neighbors(d, l); len(nbs) != 0 {
+				t.Fatalf("deleted node %d still has %d edges at level %d", d, len(nbs), l)
+			}
+		}
+	}
+	for i := uint32(0); i < 400; i++ {
+		if dead[i] {
+			continue
+		}
+		for l := 0; l <= ix.Level(i); l++ {
+			for _, nb := range ix.Neighbors(i, l) {
+				if dead[nb] {
+					t.Fatalf("node %d level %d still points at deleted %d", i, l, nb)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertSearch drives searches while a single writer inserts
+// and repairs; run under -race this is the package-level linearizability
+// smoke test (the Database-level one lives in the root package).
+func TestConcurrentInsertSearch(t *testing.T) {
+	p := dataset.ProfileByName("SIFT")
+	ds := dataset.Generate(p, 800, 20, 7)
+	cfg := Config{M: 8, MaxDegree: 16, EfConstruction: 60, Seed: 1}
+	ix, err := Build(ds.Vectors[:400:400], p.Metric, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.EnableMutation()
+	eng := func() engine.Engine { return engine.NewExact(ds.Vectors, p.Metric, p.Elem) }
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := eng()
+			var dst []Neighbor
+			for qi := 0; ; qi++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := ds.Queries[(qi+w)%len(ds.Queries)]
+				bound := ix.Size()
+				dst = ix.SearchInto(q, 10, 64, e, nil, dst)
+				for _, r := range dst {
+					if int(r.ID) >= bound+400 { // generous: bound raced upward
+						t.Errorf("result id %d far beyond published count %d", r.ID, bound)
+						return
+					}
+					if math.IsNaN(r.Dist) {
+						t.Error("NaN distance from concurrent search")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 400; i < 800; i++ {
+		ix.Insert(ds.Vectors[i])
+		if i%97 == 0 {
+			ix.Repair([]uint32{uint32(i - 50)}, func(id uint32) bool { return id != uint32(i-50) })
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

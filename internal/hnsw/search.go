@@ -97,23 +97,30 @@ func (ix *Index) SearchCancelInto(done <-chan struct{}, q []float32, k, ef, batc
 		default:
 		}
 	}
+	// Capture a consistent graph snapshot and the traversal scratch before
+	// the first comparison. On an immutable index the view is a plain field
+	// read; on a live one it pins entry/count/arrays for the whole query
+	// (see mutate.go for the ordering argument).
+	v := ix.view()
+	ctx := ix.getCtx(v.count)
+	defer ix.putCtx(ctx)
 	eng.StartQuery(q)
 
 	// Entry comparison (threshold ∞: always accepted, full fetch).
-	entryRes := eng.Compare(ix.entry, math.Inf(1))
+	entryRes := eng.Compare(v.entry, math.Inf(1))
 	if rec != nil {
-		rec.BeginHop(ix.maxLevel)
-		rec.AddTask(trace.Task{ID: ix.entry, Threshold: math.Inf(1), Result: entryRes})
+		rec.BeginHop(v.maxLevel)
+		rec.AddTask(trace.Task{ID: v.entry, Threshold: math.Inf(1), Result: entryRes})
 		rec.EndHop(2)
 	}
-	cur := ix.entry
+	cur := v.entry
 	curDist := entryRes.Dist
 	hops := 0
 
 	// Greedy descent through the upper layers. Cancellation here aborts
 	// with no results: the descent has not touched the base layer yet, so
 	// there is nothing usable to return.
-	for l := ix.maxLevel; l >= 1; l-- {
+	for l := v.maxLevel; l >= 1; l-- {
 		for {
 			hops++
 			if done != nil && hops%cancelCheckHops == 0 {
@@ -123,7 +130,7 @@ func (ix *Index) SearchCancelInto(done <-chan struct{}, q []float32, k, ef, batc
 				default:
 				}
 			}
-			nbs := ix.neighborsAt(cur, l)
+			nbs := v.neighborsAt(cur, l, ctx)
 			if len(nbs) == 0 {
 				break
 			}
@@ -150,14 +157,12 @@ func (ix *Index) SearchCancelInto(done <-chan struct{}, q []float32, k, ef, batc
 		}
 	}
 
-	// Beam search on the base layer, over pooled scratch state.
-	ctx := ix.getCtx()
-	defer ix.putCtx(ctx)
+	// Beam search on the base layer, over the pooled scratch state.
 	visited := &ctx.vis
 	visited.testAndSet(cur)
 	// Mark upper-layer visits too so they are not re-fetched; the entry
 	// point was already compared.
-	visited.testAndSet(ix.entry)
+	visited.testAndSet(v.entry)
 
 	cand := &ctx.cand
 	results := &ctx.results
@@ -195,7 +200,7 @@ func (ix *Index) SearchCancelInto(done <-chan struct{}, q []float32, k, ef, batc
 				}
 				break
 			}
-			for _, nb := range ix.neighborsAt(c.ID, 0) {
+			for _, nb := range v.neighborsAt(c.ID, 0, ctx) {
 				if !visited.testAndSet(nb) {
 					ids = append(ids, nb)
 				}
@@ -265,31 +270,51 @@ type Stats struct {
 	LevelPop  []int   // nodes whose level >= index position
 }
 
-// Stats returns structural statistics of the graph.
+// Stats returns structural statistics of the graph. Safe to call
+// concurrently with mutation on a live index (degree reads take the
+// per-node stripe locks).
 func (ix *Index) Stats() Stats {
-	s := Stats{Nodes: len(ix.vectors), MaxLevel: ix.maxLevel, Entry: ix.entry}
-	s.LevelPop = make([]int, ix.maxLevel+1)
+	v := ix.view()
+	s := Stats{Nodes: v.count, MaxLevel: v.maxLevel, Entry: v.entry}
+	s.LevelPop = make([]int, v.maxLevel+1)
+	levels := ix.viewLevels(&v)
 	deg := 0
-	for i := range ix.vectors {
-		deg += len(ix.neighbors[i][0])
-		for l := 0; l <= ix.levels[i] && l <= ix.maxLevel; l++ {
+	for i := 0; i < v.count; i++ {
+		if v.live != nil {
+			mu := &v.live.stripes[uint32(i)&stripeMask]
+			mu.Lock()
+			deg += len(v.neighbors[i][0])
+			mu.Unlock()
+		} else {
+			deg += len(v.neighbors[i][0])
+		}
+		for l := 0; l <= levels[i] && l <= v.maxLevel; l++ {
 			s.LevelPop[l]++
 		}
 	}
-	s.AvgDegree = float64(deg) / float64(len(ix.vectors))
+	s.AvgDegree = float64(deg) / float64(v.count)
 	return s
+}
+
+// viewLevels returns the levels array consistent with v's count bound.
+func (ix *Index) viewLevels(v *liveView) []int {
+	if v.live == nil {
+		return ix.levels
+	}
+	return v.live.arrays.Load().levels[:v.count]
 }
 
 // TopLayerIDs returns the ids of all nodes whose level is within the top
 // `layers` layers of the graph — the index-structure hint the paper uses to
 // pick hot vectors for replication (§5.3).
 func (ix *Index) TopLayerIDs(layers int) []uint32 {
-	min := ix.maxLevel - layers + 1
+	v := ix.view()
+	min := v.maxLevel - layers + 1
 	if min < 0 {
 		min = 0
 	}
 	var out []uint32
-	for i, l := range ix.levels {
+	for i, l := range ix.viewLevels(&v) {
 		if l >= min {
 			out = append(out, uint32(i))
 		}
@@ -298,29 +323,61 @@ func (ix *Index) TopLayerIDs(layers int) []uint32 {
 }
 
 // MaxLevel returns the top layer index.
-func (ix *Index) MaxLevel() int { return ix.maxLevel }
+func (ix *Index) MaxLevel() int {
+	if ix.live != nil {
+		_, ml := unpackEpoch(ix.live.epoch.Load())
+		return ml
+	}
+	return ix.maxLevel
+}
 
-// Entry returns the fixed entry point.
-func (ix *Index) Entry() uint32 { return ix.entry }
+// Entry returns the current entry point.
+func (ix *Index) Entry() uint32 {
+	if ix.live != nil {
+		e, _ := unpackEpoch(ix.live.epoch.Load())
+		return e
+	}
+	return ix.entry
+}
 
 // Level returns the level of node id, or -1 when id is out of range (ids
 // can come from untrusted request payloads; exported accessors must not
 // panic on a bad one).
 func (ix *Index) Level(id uint32) int {
-	if int(id) >= len(ix.levels) {
+	v := ix.view()
+	if int(id) >= v.count {
 		return -1
 	}
-	return ix.levels[id]
+	return ix.viewLevels(&v)[id]
 }
 
-// Neighbors exposes the adjacency list of id at the given level
-// (read-only). Out-of-range ids or levels return nil.
+// Neighbors exposes the adjacency list of id at the given level. On an
+// immutable index the returned slice is the live one (read-only); on a
+// mutable index it is a stripe-locked copy. Out-of-range ids or levels
+// return nil.
 func (ix *Index) Neighbors(id uint32, level int) []uint32 {
-	if int(id) >= len(ix.neighbors) || level < 0 {
+	v := ix.view()
+	if int(id) >= v.count || level < 0 {
 		return nil
 	}
-	return ix.neighborsAt(id, level)
+	nbs := v.neighbors[id]
+	if level >= len(nbs) {
+		return nil
+	}
+	if v.live == nil {
+		return nbs[level]
+	}
+	mu := &v.live.stripes[id&stripeMask]
+	mu.Lock()
+	out := append([]uint32(nil), nbs[level]...)
+	mu.Unlock()
+	return out
 }
 
-// Size returns the number of indexed vectors.
-func (ix *Index) Size() int { return len(ix.vectors) }
+// Size returns the number of indexed (published) vectors.
+func (ix *Index) Size() int {
+	if ix.live != nil {
+		return int(ix.live.count.Load())
+	}
+	return len(ix.vectors)
+}

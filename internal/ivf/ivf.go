@@ -87,6 +87,30 @@ func (ix *Index) ListSizes() []int {
 // paper replicates for IVF (§5.3).
 func (ix *Index) Centroids() [][]float32 { return ix.centroids }
 
+// Add appends a new vector to the inverted list of its nearest centroid
+// (by L2, the clustering geometry) and returns its id — the live-ingest
+// path of a mutable database. Centroids are not moved; the list simply
+// grows, so clustering quality degrades gracefully until a periodic
+// re-clustering (a documented remainder) rebalances. Writer-side only:
+// Add is not safe concurrently with Search on the same Index — the
+// concurrent-serving index of a live Database is the HNSW graph, and its
+// IVF view is refreshed at mutation quiescence.
+func (ix *Index) Add(vec []float32) uint32 {
+	id := uint32(len(ix.vectors))
+	ix.vectors = append(ix.vectors, vec)
+	best, bd := 0, math.Inf(1)
+	for c, ctr := range ix.centroids {
+		if d := vecmath.L2.Distance(vec, ctr); d < bd {
+			best, bd = c, d
+		}
+	}
+	ix.lists[best] = append(ix.lists[best], id)
+	return id
+}
+
+// Size returns the number of indexed vectors.
+func (ix *Index) Size() int { return len(ix.vectors) }
+
 // List exposes the member ids of cluster c (read-only).
 func (ix *Index) List(c int) []uint32 { return ix.lists[c] }
 
@@ -95,6 +119,14 @@ func (ix *Index) List(c int) []uint32 { return ix.lists[c] }
 // Centroid scoring is host-side work (centroids are small and cache
 // resident), charged as HostOps in a tasks-free hop.
 func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *trace.Query) []hnsw.Neighbor {
+	return ix.SearchFiltered(q, k, ef, nprobe, nil, eng, rec)
+}
+
+// SearchFiltered is Search with attribute filtering: only ids passing the
+// filter enter the result set (a nil filter accepts everything). The
+// tombstone bitmap of a live database rides this path — deleted members
+// stay in their lists until re-clustering but never reach results.
+func (ix *Index) SearchFiltered(q []float32, k, ef, nprobe int, filter func(uint32) bool, eng engine.Engine, rec *trace.Query) []hnsw.Neighbor {
 	if ef < k {
 		ef = k
 	}
@@ -143,7 +175,7 @@ func (ix *Index) Search(q []float32, k, ef, nprobe int, eng engine.Engine, rec *
 			if rec != nil {
 				rec.AddTask(trace.Task{ID: id, Threshold: threshold, Result: res})
 			}
-			if res.Accepted {
+			if res.Accepted && (filter == nil || filter(id)) {
 				results.Push(hnsw.Neighbor{ID: id, Dist: res.Dist})
 				if results.Len() > ef {
 					results.Pop()

@@ -1,6 +1,7 @@
 package ivf
 
 import (
+	"math"
 	"testing"
 
 	"ansmet/internal/dataset"
@@ -151,5 +152,82 @@ func TestSearchClampsNprobe(t *testing.T) {
 	res = ix.Search(ds.Queries[0], 5, 5, 0, eng, nil)
 	if len(res) == 0 {
 		t.Error("nprobe=0 should clamp to 1 and return results")
+	}
+}
+
+func TestAddRoutesToNearestList(t *testing.T) {
+	ds, ix := buildIVF(t, "SIFT", 600, 20)
+	before := ix.Size()
+	fresh := ds.Queries[:5] // held-out vectors from the same distribution
+	for i, v := range fresh {
+		id := ix.Add(v)
+		if int(id) != before+i {
+			t.Fatalf("Add returned id %d, want %d (dense assignment)", id, before+i)
+		}
+		// The id landed in exactly the list of its nearest centroid.
+		best, bd := 0, math.Inf(1)
+		for c, ctr := range ix.centroids {
+			if d := vecmath.L2.Distance(v, ctr); d < bd {
+				best, bd = c, d
+			}
+		}
+		found := false
+		for _, m := range ix.List(best) {
+			if m == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("id %d missing from nearest list %d", id, best)
+		}
+	}
+	if ix.Size() != before+len(fresh) {
+		t.Fatalf("Size = %d, want %d", ix.Size(), before+len(fresh))
+	}
+	// Appended vectors are immediately searchable: a self-query over an
+	// engine covering the grown population returns the new id first.
+	eng := engine.NewExact(ix.vectors, ds.Profile.Metric, ds.Profile.Elem)
+	for i, v := range fresh {
+		res := ix.Search(v, 1, 1, ix.NumClusters(), eng, nil)
+		if len(res) != 1 || res[0].ID != uint32(before+i) {
+			t.Fatalf("self-query of appended vector %d: %v", i, res)
+		}
+	}
+}
+
+func TestSearchFilteredExcludes(t *testing.T) {
+	ds, ix := buildIVF(t, "SPACEV", 800, 25)
+	eng := engine.NewExact(ds.Vectors, ds.Profile.Metric, ds.Profile.Elem)
+	// Tombstone the unfiltered top hit of every query; the filtered search
+	// must never return it and must still fill k from survivors.
+	dead := make(map[uint32]bool)
+	for _, q := range ds.Queries {
+		res := ix.Search(q, 10, 10, 8, eng, nil)
+		dead[res[0].ID] = true
+	}
+	filter := func(id uint32) bool { return !dead[id] }
+	for _, q := range ds.Queries {
+		res := ix.SearchFiltered(q, 10, 10, 8, filter, eng, nil)
+		if len(res) != 10 {
+			t.Fatalf("filtered search returned %d results, want 10", len(res))
+		}
+		for _, n := range res {
+			if dead[n.ID] {
+				t.Fatalf("filtered search returned tombstoned id %d", n.ID)
+			}
+		}
+	}
+	// A nil filter is exactly Search.
+	for _, q := range ds.Queries {
+		a := ix.Search(q, 10, 10, 8, eng, nil)
+		b := ix.SearchFiltered(q, 10, 10, 8, nil, eng, nil)
+		if len(a) != len(b) {
+			t.Fatal("nil filter diverges from Search")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("nil filter diverges from Search")
+			}
+		}
 	}
 }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Mutation endpoints: POST /v1/upsert and POST /v1/delete, registered only
+// when the corresponding Config hook is wired (a read-only server keeps
+// serving 404 on them). Mutations ride the same machinery as searches —
+// drain refusal, admission control, body-size limits, per-request
+// deadlines, panic containment — because an overloaded or draining server
+// must shed writes for exactly the reasons it sheds reads. An acknowledged
+// mutation (HTTP 200) has been fsynced to the journal by the backend
+// before the hook returns; a shed or failed one was never applied.
+
+// UpsertFunc applies an insert (hasID false: the backend assigns the id)
+// or an in-place replacement (hasID true) and returns the id now holding
+// the vector. The returned id differs from the given one on replacement —
+// updates are add-new-tombstone-old underneath.
+type UpsertFunc func(ctx context.Context, id uint32, hasID bool, vec []float32) (uint32, error)
+
+// DeleteFunc tombstones an id.
+type DeleteFunc func(ctx context.Context, id uint32) error
+
+// UpsertRequest is the /v1/upsert JSON body. Without an id the vector is
+// inserted fresh; with one, it replaces that id's vector.
+type UpsertRequest struct {
+	ID     *uint32   `json:"id,omitempty"`
+	Vector []float32 `json:"vector"`
+	// TimeoutMs overrides the server's default per-request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// UpsertResponse reports the id now holding the vector.
+type UpsertResponse struct {
+	ID    uint32 `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// DeleteRequest is the /v1/delete JSON body.
+type DeleteRequest struct {
+	ID        *uint32 `json:"id"`
+	TimeoutMs int     `json:"timeout_ms,omitempty"`
+}
+
+// DeleteResponse acknowledges a tombstoned id.
+type DeleteResponse struct {
+	Deleted bool   `json:"deleted"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	var req UpsertRequest
+	if !s.admitMutation(w, r, &req) {
+		return
+	}
+	if len(req.Vector) == 0 {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, UpsertResponse{Error: "missing vector"})
+		return
+	}
+	ctx, cancel := s.mutationCtx(r, req.TimeoutMs)
+	defer cancel()
+	var (
+		id  uint32
+		err error
+	)
+	if req.ID != nil {
+		id, err = s.cfg.Upsert(ctx, *req.ID, true, req.Vector)
+	} else {
+		id, err = s.cfg.Upsert(ctx, 0, false, req.Vector)
+	}
+	if !s.writeMutationError(w, r, err) {
+		return
+	}
+	s.metrics.Upserts.Add(1)
+	writeJSON(w, http.StatusOK, UpsertResponse{ID: id})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	var req DeleteRequest
+	if !s.admitMutation(w, r, &req) {
+		return
+	}
+	if req.ID == nil {
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, DeleteResponse{Error: "missing id"})
+		return
+	}
+	ctx, cancel := s.mutationCtx(r, req.TimeoutMs)
+	defer cancel()
+	err := s.cfg.Delete(ctx, *req.ID)
+	if !s.writeMutationError(w, r, err) {
+		return
+	}
+	s.metrics.Deletes.Add(1)
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true})
+}
+
+// admitMutation runs the shared front half of both mutation handlers —
+// drain refusal, admission, body limit, JSON decode — reporting whether
+// the handler should proceed. Mirrors handleSearch exactly so the two
+// request classes shed and drain under one policy.
+func (s *Server) admitMutation(w http.ResponseWriter, r *http.Request, req any) bool {
+	if s.draining.Load() {
+		s.metrics.Draining.Add(1)
+		w.Header().Set("Connection", "close")
+		writeJSON(w, http.StatusServiceUnavailable, SearchResponse{Error: "server draining"})
+		return false
+	}
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			s.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSecs(oe.RetryAfter)))
+			writeJSON(w, http.StatusTooManyRequests, SearchResponse{Error: oe.Reason.Error()})
+			return false
+		}
+		s.metrics.ClientCancels.Add(1)
+		return false
+	}
+	// Admission releases when the handler finishes; mutations are quick
+	// (one journaled write), so holding the slot across the body read and
+	// the apply keeps the accounting honest without starving searches.
+	defer release()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				SearchResponse{Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, SearchResponse{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// mutationCtx builds the per-request deadline context, tied to the server
+// lifecycle the same way searches are (HardCancel aborts it).
+func (s *Server) mutationCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// writeMutationError classifies a mutation hook error onto the wire using
+// the same taxonomy as searches and reports whether the caller should
+// write its success response (err == nil).
+func (s *Server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case err == nil:
+		s.metrics.OK.Add(1)
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			s.metrics.ClientCancels.Add(1)
+			return false
+		}
+		s.metrics.Timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, SearchResponse{Error: "mutation deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		if s.baseCtx.Err() != nil {
+			s.metrics.Draining.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, SearchResponse{Error: "server shutting down"})
+			return false
+		}
+		s.metrics.ClientCancels.Add(1)
+	case s.cfg.BadRequest != nil && s.cfg.BadRequest(err):
+		s.metrics.BadRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, SearchResponse{Error: err.Error()})
+	default:
+		s.metrics.Internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, SearchResponse{Error: "internal error"})
+	}
+	return false
+}

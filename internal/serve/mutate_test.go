@@ -1,0 +1,184 @@
+// Mutation endpoint tests, stubbed like the search handler tests: the
+// Upsert/Delete hooks are fakes exercising routing, admission sharing,
+// validation, error classification and the counters.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func jsonUnmarshal(w *httptest.ResponseRecorder, v any) error {
+	return json.Unmarshal(w.Body.Bytes(), v)
+}
+
+func postJSON(s *Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// fakeStore is an in-memory mutation backend with the library's contract:
+// upserts assign dense ids, updates tombstone the old id.
+type fakeStore struct {
+	next atomic.Uint32
+	bad  error
+}
+
+func (f *fakeStore) upsert(ctx context.Context, id uint32, hasID bool, vec []float32) (uint32, error) {
+	if f.bad != nil {
+		return 0, f.bad
+	}
+	return f.next.Add(1) - 1, nil
+}
+
+func (f *fakeStore) del(ctx context.Context, id uint32) error { return f.bad }
+
+func mutableServer(t *testing.T, f *fakeStore, cfg Config) *Server {
+	t.Helper()
+	cfg.Upsert = f.upsert
+	cfg.Delete = f.del
+	return newTestServer(t, cfg)
+}
+
+func TestUpsertAndDeleteOK(t *testing.T) {
+	f := &fakeStore{}
+	s := mutableServer(t, f, Config{})
+
+	w := postJSON(s, "/v1/upsert", `{"vector":[1,2,3]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("upsert status = %d, body %s", w.Code, w.Body)
+	}
+	var ur UpsertResponse
+	if err := jsonUnmarshal(w, &ur); err != nil || ur.ID != 0 {
+		t.Fatalf("upsert resp %s (err %v)", w.Body, err)
+	}
+	w = postJSON(s, "/v1/upsert", `{"id":0,"vector":[4,5,6]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("replace status = %d, body %s", w.Code, w.Body)
+	}
+	w = postJSON(s, "/v1/delete", `{"id":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("delete status = %d, body %s", w.Code, w.Body)
+	}
+	var dr DeleteResponse
+	if err := jsonUnmarshal(w, &dr); err != nil || !dr.Deleted {
+		t.Fatalf("delete resp %s (err %v)", w.Body, err)
+	}
+	m := s.Metrics()
+	if m.Upserts.Load() != 2 || m.Deletes.Load() != 1 || m.Requests.Load() != 3 {
+		t.Fatalf("counters: upserts=%d deletes=%d requests=%d",
+			m.Upserts.Load(), m.Deletes.Load(), m.Requests.Load())
+	}
+}
+
+func TestMutationEndpointsAbsentWithoutHooks(t *testing.T) {
+	s := newTestServer(t, Config{}) // read-only: no Upsert/Delete wired
+	if w := postJSON(s, "/v1/upsert", `{"vector":[1]}`); w.Code != http.StatusNotFound {
+		t.Fatalf("upsert on read-only server: %d", w.Code)
+	}
+	if w := postJSON(s, "/v1/delete", `{"id":1}`); w.Code != http.StatusNotFound {
+		t.Fatalf("delete on read-only server: %d", w.Code)
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	s := mutableServer(t, &fakeStore{}, Config{})
+	cases := []struct{ path, body string }{
+		{"/v1/upsert", `{`},             // malformed JSON
+		{"/v1/upsert", `{"vector":[]}`}, // empty vector
+		{"/v1/upsert", `{}`},            // missing vector
+		{"/v1/delete", `{}`},            // missing id
+		{"/v1/delete", `{"id":null}`},   // null id
+	}
+	for _, tc := range cases {
+		if w := postJSON(s, tc.path, tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", tc.path, tc.body, w.Code)
+		}
+	}
+	if got := s.Metrics().BadRequests.Load(); got != int64(len(cases)) {
+		t.Fatalf("BadRequests = %d, want %d", got, len(cases))
+	}
+}
+
+func TestMutationErrorClassification(t *testing.T) {
+	berr := errors.New("id 99 was already deleted")
+	f := &fakeStore{bad: berr}
+	s := mutableServer(t, f, Config{
+		BadRequest: func(err error) bool { return errors.Is(err, berr) },
+	})
+	if w := postJSON(s, "/v1/delete", `{"id":99}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("classified mutation error: status %d", w.Code)
+	}
+	f.bad = errors.New("disk on fire")
+	if w := postJSON(s, "/v1/delete", `{"id":1}`); w.Code != http.StatusInternalServerError {
+		t.Fatalf("internal mutation error: status %d", w.Code)
+	}
+	if s.Metrics().Internal.Load() != 1 || s.Metrics().Deletes.Load() != 0 {
+		t.Fatal("error counters wrong")
+	}
+}
+
+func TestMutationDrainRefuses(t *testing.T) {
+	s := mutableServer(t, &fakeStore{}, Config{})
+	s.Drain()
+	if w := postJSON(s, "/v1/upsert", `{"vector":[1]}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining upsert: status %d", w.Code)
+	}
+	if w := postJSON(s, "/v1/delete", `{"id":1}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining delete: status %d", w.Code)
+	}
+}
+
+func TestMutationSharesAdmission(t *testing.T) {
+	// Rate-limit to nothing: the second mutation in the same instant is
+	// shed with 429 + Retry-After, proving writes ride the same admission
+	// controller as reads.
+	s := mutableServer(t, &fakeStore{}, Config{
+		Admission: AdmissionConfig{RatePerSec: 0.001, Burst: 1},
+	})
+	if w := postJSON(s, "/v1/upsert", `{"vector":[1]}`); w.Code != http.StatusOK {
+		t.Fatalf("first upsert: %d", w.Code)
+	}
+	w := postJSON(s, "/v1/delete", `{"id":0}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second mutation: status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed mutation missing Retry-After")
+	}
+	if s.Metrics().Shed.Load() != 1 {
+		t.Fatal("Shed counter not incremented")
+	}
+}
+
+func TestMutationOversizedBody(t *testing.T) {
+	s := mutableServer(t, &fakeStore{}, Config{MaxBodyBytes: 64})
+	big := `{"vector":[` + strings.Repeat("1,", 200) + `1]}`
+	if w := postJSON(s, "/v1/upsert", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upsert: status %d", w.Code)
+	}
+}
+
+func TestVarsMutationCounters(t *testing.T) {
+	s := mutableServer(t, &fakeStore{}, Config{})
+	postJSON(s, "/v1/upsert", `{"vector":[1]}`)
+	postJSON(s, "/v1/delete", `{"id":0}`)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]any
+	if err := jsonUnmarshal(w, &vars); err != nil {
+		t.Fatalf("vars JSON: %v", err)
+	}
+	sv := vars["serve"].(map[string]any)
+	if sv["upserts"].(float64) != 1 || sv["deletes"].(float64) != 1 {
+		t.Fatalf("vars mutation counters: %v", sv)
+	}
+}

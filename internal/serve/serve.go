@@ -83,6 +83,12 @@ type Config struct {
 	// target on a server without it get HTTP 400; requests without one
 	// never reach it.
 	SearchPrecision PrecisionFunc
+	// Upsert, when set, enables POST /v1/upsert (insert or replace a
+	// vector); Delete enables POST /v1/delete. Unset hooks leave their
+	// endpoint unregistered — a read-only server 404s mutation traffic.
+	// Mutations share the search admission controller and drain behavior.
+	Upsert UpsertFunc
+	Delete DeleteFunc
 	// ExtraVars, when set, contributes additional top-level sections to
 	// /debug/vars (e.g. cluster shard health). Keys must not collide with
 	// the built-in "serve"/"admission"/"goroutines"/"draining" sections;
@@ -168,6 +174,12 @@ type Metrics struct {
 	// RecallTargeted counts requests that carried an explicit
 	// recall_target (served through Config.SearchPrecision).
 	RecallTargeted atomic.Int64
+
+	// Upserts and Deletes count acknowledged mutations (200s on
+	// /v1/upsert and /v1/delete); failed or shed mutations land in the
+	// shared error counters above.
+	Upserts atomic.Int64
+	Deletes atomic.Int64
 }
 
 // countRoute bumps the counter for a reported route name; unknown names
@@ -263,6 +275,12 @@ func New(cfg Config) (*Server, error) {
 		start:      time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	if cfg.Upsert != nil {
+		s.mux.HandleFunc("POST /v1/upsert", s.handleUpsert)
+	}
+	if cfg.Delete != nil {
+		s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	}
 	s.mux.HandleFunc("GET /v1/health", limitConcurrency(cfg.AuxConcurrency, s.handleHealth))
 	s.mux.HandleFunc("GET /v1/ready", limitConcurrency(cfg.AuxConcurrency, s.handleReady))
 	s.mux.HandleFunc("GET /debug/vars", limitConcurrency(cfg.AuxConcurrency, s.handleVars))
@@ -561,6 +579,8 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			"in_flight":       m.InFlight.Load(),
 			"partials":        m.Partials.Load(),
 			"recall_targeted": m.RecallTargeted.Load(),
+			"upserts":         m.Upserts.Load(),
+			"deletes":         m.Deletes.Load(),
 		},
 		"admission": map[string]any{
 			"admitted":      adm.Admitted,

@@ -1,0 +1,318 @@
+// Package wal implements the write-ahead log behind the live mutable
+// index: an append-only journal of mutation records with per-record
+// CRC32C framing and fsync-on-ack durability. The contract mirrors the v3
+// snapshot format's hardening (raw magic before any parsing, checksums
+// verified before a payload byte is trusted, a typed corruption-error
+// taxonomy) but adapted to a log: a crash can tear only the *tail* of the
+// file, so recovery replays the longest valid record prefix and truncates
+// whatever follows. A record is acknowledged only after the fsync that
+// made it durable returned, so the truncated tail never contains an
+// acknowledged write.
+//
+// On-disk layout:
+//
+//	header:  "ANSMETWAL1\n"                        (11 bytes)
+//	record:  type uint8 | seq uint64 LE | len uint32 LE | payload | crc32c uint32 LE
+//
+// The CRC covers type, seq, len and payload. Sequence numbers are
+// strictly contiguous (seq = previous + 1, starting at base+1 where base
+// is the snapshot's compaction point); a gap or regression marks the
+// record invalid even if its CRC holds, because it can only arise from a
+// corrupt or mismatched journal.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// header is the raw byte prefix of every journal file.
+var header = []byte("ANSMETWAL1\n")
+
+// recordOverhead is the framing cost of one record: type (1) + seq (8) +
+// payload length (4) + trailing CRC32C (4).
+const recordOverhead = 1 + 8 + 4 + 4
+
+// MaxPayload bounds a single record's payload. Anything larger in a
+// length field is treated as corruption rather than allocated.
+const MaxPayload = 1 << 26 // 64 MiB
+
+// Typed corruption errors, matched with errors.Is — the journal analogue
+// of the snapshot taxonomy (ErrSnapshotBadMagic / Truncated / Checksum).
+var (
+	// ErrBadMagic reports a file that is not an ANSMETWAL1 journal at all.
+	// Unlike tail corruption this is never recoverable by truncation: the
+	// file belongs to something else and must not be overwritten blindly.
+	ErrBadMagic = errors.New("wal: not an ANSMETWAL1 journal")
+	// ErrTruncated reports a record cut short — the frame or payload ends
+	// before its declared length (the normal torn-tail crash signature).
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrChecksum reports a record whose CRC32C does not match its bytes.
+	ErrChecksum = errors.New("wal: record checksum mismatch")
+	// ErrBadSequence reports a record whose sequence number is not the
+	// predecessor's + 1 (a corrupt or mismatched journal).
+	ErrBadSequence = errors.New("wal: record out of sequence")
+	// ErrClosed reports an append to a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+)
+
+// castagnoli is the CRC32C table (same polynomial as the snapshot footer).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journal entry: an opaque payload tagged with a caller-
+// defined type byte and the log's monotone sequence number.
+type Record struct {
+	Type    uint8
+	Seq     uint64
+	Payload []byte
+}
+
+// Scan parses a journal image and returns the longest valid record
+// suffix newer than seq base: records must be strictly contiguous within
+// the file, records with seq <= base are skipped (already folded into the
+// snapshot — the legitimate state after a crash between snapshot write
+// and journal truncation), and the first record's seq must not leave a
+// gap above base. Also returned are the byte offset where valid data ends
+// and the error that stopped the scan (nil when the image ends exactly on
+// a record boundary). Scan never panics on arbitrary input (FuzzWALReplay
+// asserts this); the returned records alias data.
+func Scan(data []byte, base uint64) (recs []Record, validEnd int, err error) {
+	if len(data) < len(header) {
+		if !headerPrefix(data) {
+			return nil, 0, fmt.Errorf("%w (short header)", ErrBadMagic)
+		}
+		return nil, 0, fmt.Errorf("%w: %d bytes is shorter than the header", ErrTruncated, len(data))
+	}
+	if !headerPrefix(data[:len(header)]) {
+		return nil, 0, fmt.Errorf("%w (bad header)", ErrBadMagic)
+	}
+	off := len(header)
+	seq := uint64(0)
+	first := true
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recordOverhead {
+			return recs, off, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrTruncated, len(rest), off)
+		}
+		plen := binary.LittleEndian.Uint32(rest[9:13])
+		if plen > MaxPayload {
+			return recs, off, fmt.Errorf("%w: declared payload %d exceeds limit at offset %d", ErrChecksum, plen, off)
+		}
+		total := recordOverhead + int(plen)
+		if len(rest) < total {
+			return recs, off, fmt.Errorf("%w: record needs %d bytes, %d remain at offset %d",
+				ErrTruncated, total, len(rest), off)
+		}
+		frame := rest[:total-4]
+		wantCRC := binary.LittleEndian.Uint32(rest[total-4 : total])
+		if got := crc32.Checksum(frame, castagnoli); got != wantCRC {
+			return recs, off, fmt.Errorf("%w: crc32c %08x, frame says %08x at offset %d",
+				ErrChecksum, got, wantCRC, off)
+		}
+		rseq := binary.LittleEndian.Uint64(rest[1:9])
+		if first {
+			if rseq > base+1 {
+				return recs, off, fmt.Errorf("%w: journal starts at seq %d, snapshot covers through %d at offset %d",
+					ErrBadSequence, rseq, base, off)
+			}
+			first = false
+		} else if rseq != seq+1 {
+			return recs, off, fmt.Errorf("%w: got seq %d after %d at offset %d",
+				ErrBadSequence, rseq, seq, off)
+		}
+		seq = rseq
+		if rseq > base {
+			recs = append(recs, Record{Type: rest[0], Seq: rseq, Payload: frame[13:]})
+		}
+		off += total
+	}
+	return recs, off, nil
+}
+
+// headerPrefix reports whether b is a prefix of the journal header.
+func headerPrefix(b []byte) bool {
+	if len(b) > len(header) {
+		return false
+	}
+	for i := range b {
+		if b[i] != header[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Log is an open journal positioned for appending. Not safe for
+// concurrent use; callers serialize on their mutation writer lock.
+type Log struct {
+	f      *os.File
+	path   string
+	seq    uint64 // last sequence number present in the file (or base)
+	buf    []byte // append frame scratch
+	closed bool
+}
+
+// Open opens (or creates) the journal at path and recovers it: existing
+// records with seq > base are passed to replay in order, a torn tail —
+// any invalid suffix — is truncated away, and the log is positioned for
+// appending with the next sequence number following the last valid
+// record. base is the snapshot's compaction point: records with seq <=
+// base were already folded into the snapshot and are skipped (they are
+// legitimately present after a crash between snapshot write and journal
+// truncation).
+//
+// A file whose header is not a journal header fails with ErrBadMagic
+// (nothing is truncated — the file is not ours to rewrite). A replay
+// callback error aborts recovery and closes the file: the journal did not
+// match the snapshot it was opened against, which truncation must not
+// paper over.
+func Open(path string, base uint64, replay func(Record) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: reading journal: %w", err)
+	}
+	l := &Log{f: f, path: path, seq: base}
+	if len(data) == 0 {
+		// Fresh journal: write the header durably before the first append.
+		if err := l.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	recs, validEnd, scanErr := Scan(data, base)
+	if scanErr != nil && errors.Is(scanErr, ErrBadMagic) {
+		f.Close()
+		return nil, scanErr
+	}
+	for _, r := range recs {
+		if replay != nil {
+			if err := replay(r); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: replaying record seq %d: %w", r.Seq, err)
+			}
+		}
+		l.seq = r.Seq
+	}
+	if scanErr != nil {
+		// Torn or corrupt tail: drop it. Everything before validEnd was
+		// CRC-verified and contiguous; everything after was never
+		// acknowledged (the ack is the fsync of a complete record).
+		if err := f.Truncate(int64(validEnd)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing truncation: %w", err)
+		}
+		if validEnd < len(header) {
+			// The crash tore the header itself — no record can have been
+			// acknowledged (the header is written and fsynced before the
+			// first append), so a fresh header restores an empty journal.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: seeking to journal start: %w", err)
+			}
+			if err := l.writeHeader(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			return l, nil
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seeking to journal end: %w", err)
+	}
+	return l, nil
+}
+
+// writeHeader writes and fsyncs the magic header of a fresh journal.
+func (l *Log) writeHeader() error {
+	if _, err := l.f.Write(header); err != nil {
+		return fmt.Errorf("wal: writing journal header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing journal header: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record and makes it durable: the frame is written
+// and fsynced before Append returns, so a returned sequence number IS the
+// acknowledgment — a crash at any later byte offset cannot lose it.
+func (l *Log) Append(typ uint8, payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload %d exceeds limit %d", len(payload), MaxPayload)
+	}
+	seq := l.seq + 1
+	need := recordOverhead + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	b := l.buf[:need]
+	b[0] = typ
+	binary.LittleEndian.PutUint64(b[1:9], seq)
+	binary.LittleEndian.PutUint32(b[9:13], uint32(len(payload)))
+	copy(b[13:], payload)
+	crc := crc32.Checksum(b[:13+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(b[13+len(payload):], crc)
+	if _, err := l.f.Write(b); err != nil {
+		return 0, fmt.Errorf("wal: appending record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: syncing record: %w", err)
+	}
+	l.seq = seq
+	return seq, nil
+}
+
+// LastSeq returns the sequence number of the last durable record (the
+// compaction base when the journal is empty).
+func (l *Log) LastSeq() uint64 { return l.seq }
+
+// Path returns the journal's file path.
+func (l *Log) Path() string { return l.path }
+
+// Reset truncates the journal back to its bare header — the snapshot
+// compaction point. The caller must have durably persisted a snapshot
+// covering every journaled record first; sequence numbering continues
+// from the current point, so records appended after Reset replay
+// correctly against that snapshot.
+func (l *Log) Reset() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(int64(len(header))); err != nil {
+		return fmt.Errorf("wal: truncating journal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing truncation: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: seeking to journal end: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}

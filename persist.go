@@ -69,6 +69,23 @@ type dbSnapshot struct {
 
 	Vectors [][]float32
 	Graph   *hnsw.Snapshot
+
+	// Live-mutation state (zero values on immutable databases; gob decodes
+	// pre-mutation snapshots to exactly those zero values, so old files
+	// keep loading). Tombs is the deletion bitmap, Pending the tombstones
+	// not yet folded into the graph by the deferred repair — restored so a
+	// loaded database's repair batches line up with a never-snapshotted
+	// one's — and WALSeq the journal compaction point: records with seq <=
+	// WALSeq are folded into this snapshot and skipped at replay.
+	Live    bool
+	Tombs   []uint32
+	Pending []uint32
+	WALSeq  uint64
+	// RepairEvery preserves the deferred-repair batching knob: replaying the
+	// journal with a different threshold than the database that wrote it
+	// would repair on different op boundaries and recover a different (if
+	// equally valid) graph, breaking replay determinism.
+	RepairEvery int
 }
 
 // crcWriter tees writes into a CRC32C accumulator and counts bytes.
@@ -85,11 +102,22 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Save serializes the database (vectors + index graph + options) to w:
-// raw header, gob stream, then the CRC32C integrity footer Load verifies
-// before decoding. Save performs no atomicity of its own — use SaveFile
-// for crash-safe persistence to a path.
+// Save serializes the database (vectors + index graph + options + live
+// mutation state) to w: raw header, gob stream, then the CRC32C integrity
+// footer Load verifies before decoding. Save performs no atomicity of its
+// own — use SaveFile for crash-safe persistence to a path. On a mutable
+// database Save takes the writer lock, so in-flight mutations finish and
+// the snapshot is consistent; it does NOT compact an attached journal
+// (only SaveFile holds the lock across both steps).
 func (db *Database) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.saveLocked(w)
+}
+
+// saveLocked is Save's body; callers hold db.mu (a no-op lock on an
+// immutable database).
+func (db *Database) saveLocked(w io.Writer) error {
 	cw := &crcWriter{w: w, crc: crc32.New(castagnoli)}
 	if _, err := cw.Write(snapshotHeader); err != nil {
 		return fmt.Errorf("ansmet: writing snapshot header: %w", err)
@@ -102,6 +130,15 @@ func (db *Database) Save(w io.Writer) error {
 		Seed:    db.opts.Seed,
 		Vectors: db.vectors,
 		Graph:   db.sys.Index.Snapshot(),
+	}
+	if db.mutable {
+		snap.Live = true
+		snap.Tombs = db.sys.Tomb.IDs()
+		snap.Pending = db.pending
+		if db.journal != nil {
+			snap.WALSeq = db.journal.LastSeq()
+		}
+		snap.RepairEvery = db.opts.RepairEvery
 	}
 	if err := gob.NewEncoder(cw).Encode(&snap); err != nil {
 		return fmt.Errorf("ansmet: encoding snapshot: %w", err)
@@ -168,19 +205,52 @@ func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 }
 
 // SaveFile persists the database to path crash-safely via writeFileAtomic.
+// On a mutable database with an attached journal, SaveFile is the
+// compaction commit point: the writer lock is held across snapshot write
+// AND journal truncation, so no acknowledged mutation can land between
+// them, and a crash anywhere in the sequence leaves either the old
+// snapshot plus a journal that replays over it, or the new snapshot plus
+// a journal whose folded records are skipped by their sequence numbers.
 func (db *Database) SaveFile(path string) error {
-	return writeFileAtomic(path, db.Save)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := writeFileAtomic(path, db.saveLocked); err != nil {
+		return err
+	}
+	if db.mutable && db.journal != nil && !db.closed {
+		if err := db.journal.Reset(); err != nil {
+			return fmt.Errorf("ansmet: compacting journal: %w", err)
+		}
+	}
+	return nil
 }
 
+// WALName returns the journal path paired with a snapshot path — the file
+// LoadFile opens (creating it if absent) when the snapshot is live.
+func WALName(snapshotPath string) string { return snapshotPath + ".wal" }
+
 // LoadFile reconstructs a database previously written with SaveFile (or
-// Save to a file). design may override the persisted Design.
+// Save to a file). design may override the persisted Design. When the
+// snapshot is live (Options.Mutable was set), the paired journal at
+// WALName(path) is opened — created empty if absent — its acknowledged
+// records are replayed, any torn tail is truncated, and the journal stays
+// attached for subsequent mutations; call Close to release it.
 func LoadFile(path string, design *Design) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ansmet: opening snapshot: %w", err)
 	}
-	defer f.Close()
-	return Load(f, design)
+	db, err := Load(f, design)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if db.Mutable() {
+		if err := db.AttachWAL(WALName(path)); err != nil {
+			return nil, fmt.Errorf("ansmet: recovering journal: %w", err)
+		}
+	}
+	return db, nil
 }
 
 // decodeSnapshot gob-decodes with a recover guard: the gob decoder (and
@@ -239,6 +309,24 @@ func validateSnapshot(snap *dbSnapshot) error {
 	}
 	if snap.Graph == nil {
 		return fmt.Errorf("ansmet: snapshot has no index graph")
+	}
+	if !snap.Live && (len(snap.Tombs) > 0 || len(snap.Pending) > 0 || snap.WALSeq != 0 || snap.RepairEvery != 0) {
+		return fmt.Errorf("ansmet: snapshot has mutation state but is not live")
+	}
+	seen := make(map[uint32]bool, len(snap.Tombs))
+	for _, id := range snap.Tombs {
+		if int(id) >= len(snap.Vectors) {
+			return fmt.Errorf("ansmet: snapshot tombstones id %d beyond %d vectors", id, len(snap.Vectors))
+		}
+		if seen[id] {
+			return fmt.Errorf("ansmet: snapshot tombstones id %d twice", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range snap.Pending {
+		if !seen[id] {
+			return fmt.Errorf("ansmet: snapshot queues untombstoned id %d for repair", id)
+		}
 	}
 	return nil
 }
@@ -334,7 +422,24 @@ func Load(r io.Reader, design *Design) (db *Database, err error) {
 		Metric: snap.Metric, Elem: snap.Elem,
 		Design: UseDesign(d), Seed: snap.Seed,
 	}
-	return &Database{opts: opts, vectors: snap.Vectors, sys: sys}, nil
+	db = &Database{opts: opts, vectors: snap.Vectors, sys: sys}
+	if snap.Live {
+		// Restore the live-mutation state. A design override without an
+		// early-termination store cannot serve a live snapshot: the Base
+		// scan paths have no tombstone filtering, so deleted ids would
+		// resurface in results.
+		db.opts.Mutable = true
+		db.opts.RepairEvery = snap.RepairEvery
+		if err := db.enableMutation(); err != nil {
+			return nil, fmt.Errorf("ansmet: snapshot is live but %w", err)
+		}
+		for _, id := range snap.Tombs {
+			db.sys.Tomb.Delete(id)
+		}
+		db.pending = append(db.pending, snap.Pending...)
+		db.walBase = snap.WALSeq
+	}
+	return db, nil
 }
 
 // ---- Cluster persistence -------------------------------------------------
